@@ -1,0 +1,244 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (§V-VI): Fig. 3 (analysis vs simulation, one page), Figs. 4-6
+// (one-hop sweeps over loss rate, receiver count and erasure-coding rate),
+// and Tables II-III (multi-hop grids). Output is textual series matching the
+// paper's axes; EXPERIMENTS.md records the comparison with the paper.
+//
+// Usage:
+//
+//	figures [-fig 3a|3b|4|5|6|table2|table3|all] [-runs N] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/image"
+	"lrseluge/internal/topo"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which artifact to regenerate: 3a, 3b, 4, 5, 6, table2, table3, attacks, ablation, upgrade, all")
+		runs  = flag.Int("runs", 3, "simulation runs to average per data point")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		quick = flag.Bool("quick", false, "smaller image and sweeps for a fast pass")
+	)
+	flag.Parse()
+
+	cfg := sweepConfig{runs: *runs, seed: *seed, quick: *quick}
+	artifacts := map[string]func(sweepConfig) error{
+		"3a":     fig3a,
+		"3b":     fig3b,
+		"4":      fig4,
+		"5":      fig5,
+		"6":      fig6,
+		"table2": func(c sweepConfig) error { return multihop(c, topo.Tight, "Table II (15x15 tight grid, high density)") },
+		"table3": func(c sweepConfig) error {
+			return multihop(c, topo.Medium, "Table III (15x15 medium grid, low density)")
+		},
+		"attacks": func(c sweepConfig) error {
+			return attacks(c)
+		},
+		"ablation": ablation,
+		"upgrade":  upgrade,
+	}
+	order := []string{"3a", "3b", "4", "5", "6", "table2", "table3", "attacks", "ablation", "upgrade"}
+
+	run := func(name string) {
+		if err := artifacts[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *fig == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := artifacts[*fig]; !ok {
+		fmt.Fprintf(os.Stderr, "figures: unknown artifact %q\n", *fig)
+		os.Exit(2)
+	}
+	run(*fig)
+}
+
+type sweepConfig struct {
+	runs  int
+	seed  int64
+	quick bool
+}
+
+func (c sweepConfig) imageSize() int {
+	if c.quick {
+		return 4 * 1024
+	}
+	return 20 * 1024
+}
+
+func (c sweepConfig) params() image.Params { return image.DefaultParams() }
+
+func fig3a(c sweepConfig) error {
+	fmt.Println("=== Fig. 3(a): data packets for one page vs packet-loss rate (N=10 receivers) ===")
+	ps := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+	if c.quick {
+		ps = []float64{0, 0.1, 0.2, 0.3, 0.4}
+	}
+	pts, err := experiment.Fig3LossSweep(c.params(), 10, ps, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %16s %16s %12s %12s\n", "p", "Seluge(analysis)", "ACK-LR(analysis)", "Seluge(sim)", "LR(sim)")
+	for _, pt := range pts {
+		fmt.Printf("%8.2f %16.1f %16.1f %12.1f %12.1f\n", pt.X, pt.SelugeAnalysis, pt.ACKLRAnalysis, pt.SelugeSim, pt.LRSim)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig3b(c sweepConfig) error {
+	fmt.Println("=== Fig. 3(b): data packets for one page vs number of receivers (p=0.2) ===")
+	ns := []int{2, 5, 10, 15, 20, 25, 30, 35, 40}
+	if c.quick {
+		ns = []int{2, 10, 20, 40}
+	}
+	pts, err := experiment.Fig3ReceiverSweep(c.params(), ns, 0.2, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %16s %16s %12s %12s\n", "N", "Seluge(analysis)", "ACK-LR(analysis)", "Seluge(sim)", "LR(sim)")
+	for _, pt := range pts {
+		fmt.Printf("%8.0f %16.1f %16.1f %12.1f %12.1f\n", pt.X, pt.SelugeAnalysis, pt.ACKLRAnalysis, pt.SelugeSim, pt.LRSim)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printComparison(pts []experiment.ComparisonPoint, xLabel string) {
+	fmt.Printf("%8s | %10s %10s | %10s %10s | %9s %9s | %12s %12s | %10s %10s\n",
+		xLabel, "S:data", "LR:data", "S:snack", "LR:snack", "S:adv", "LR:adv", "S:bytes", "LR:bytes", "S:lat(s)", "LR:lat(s)")
+	for _, pt := range pts {
+		fmt.Printf("%8.2f | %10.0f %10.0f | %10.0f %10.0f | %9.0f %9.0f | %12.0f %12.0f | %10.1f %10.1f\n",
+			pt.X,
+			pt.Seluge.DataPkts, pt.LR.DataPkts,
+			pt.Seluge.SnackPkts, pt.LR.SnackPkts,
+			pt.Seluge.AdvPkts, pt.LR.AdvPkts,
+			pt.Seluge.TotalBytes, pt.LR.TotalBytes,
+			pt.Seluge.LatencySec, pt.LR.LatencySec)
+	}
+	fmt.Println()
+}
+
+func fig4(c sweepConfig) error {
+	fmt.Printf("=== Fig. 4(a)-(e): impact of packet-loss rate (N=20, %d KB image) ===\n", c.imageSize()/1024)
+	ps := []float64{0, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4}
+	if c.quick {
+		ps = []float64{0, 0.1, 0.3, 0.4}
+	}
+	pts, err := experiment.Fig4LossImpact(c.params(), c.imageSize(), 20, ps, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	printComparison(pts, "p")
+	return nil
+}
+
+func fig5(c sweepConfig) error {
+	fmt.Printf("=== Fig. 5(a)-(e): impact of receiver count (p=0.1, %d KB image) ===\n", c.imageSize()/1024)
+	ns := []int{5, 10, 20, 30, 40}
+	if c.quick {
+		ns = []int{5, 20, 40}
+	}
+	pts, err := experiment.Fig5DensityImpact(c.params(), c.imageSize(), ns, 0.1, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	printComparison(pts, "N")
+	return nil
+}
+
+func fig6(c sweepConfig) error {
+	fmt.Printf("=== Fig. 6(a)-(e): impact of erasure-coding rate n/k (k=32, N=20, %d KB image) ===\n", c.imageSize()/1024)
+	ns := []int{32, 40, 48, 56, 64, 72}
+	ps := []float64{0.05, 0.1, 0.2}
+	if c.quick {
+		ns = []int{32, 48, 64}
+		ps = []float64{0.1}
+	}
+	pts, err := experiment.Fig6RateImpact(c.params().PacketPayload, 32, c.imageSize(), 20, ns, ps, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %6s %6s | %10s %10s %9s %12s %10s\n", "p", "n", "n/k", "data", "snack", "adv", "bytes", "lat(s)")
+	for _, pt := range pts {
+		fmt.Printf("%6.2f %6d %6.2f | %10.0f %10.0f %9.0f %12.0f %10.1f\n",
+			pt.P, pt.N, pt.Rate, pt.LR.DataPkts, pt.LR.SnackPkts, pt.LR.AdvPkts, pt.LR.TotalBytes, pt.LR.LatencySec)
+	}
+	fmt.Println()
+	return nil
+}
+
+func multihop(c sweepConfig, density topo.GridDensity, title string) error {
+	fmt.Printf("=== %s ===\n", title)
+	rows, cols := 15, 15
+	if c.quick {
+		rows, cols = 7, 7
+	}
+	sel, lr, err := experiment.MultiHopComparison(c.params(), c.imageSize(), density, rows, cols, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %10s %9s %12s %10s %10s\n", "scheme", "data", "snack", "adv", "bytes", "lat(s)", "done")
+	fmt.Printf("%-12s %10.0f %10.0f %9.0f %12.0f %10.1f %9.0f%%\n", "Seluge",
+		sel.DataPkts, sel.SnackPkts, sel.AdvPkts, sel.TotalBytes, sel.LatencySec, 100*sel.Completed)
+	fmt.Printf("%-12s %10.0f %10.0f %9.0f %12.0f %10.1f %9.0f%%\n", "LR-Seluge",
+		lr.DataPkts, lr.SnackPkts, lr.AdvPkts, lr.TotalBytes, lr.LatencySec, 100*lr.Completed)
+	fmt.Println()
+	return nil
+}
+
+func attacks(c sweepConfig) error {
+	fmt.Println("=== Attack resilience (§IV-E): forged data / signature flood / denial of receipt ===")
+	res, err := experiment.AttackResilience(c.params(), c.imageSize()/4, 10, 0.1, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forged-data injection: authDrops=%d forgedAccepted=%d completed=%d/%d imagesOK=%v\n",
+		res.Injection.AuthDrops, res.Injection.ForgedAccepted, res.Injection.Completed, res.Injection.Nodes, res.Injection.ImagesOK)
+	fmt.Printf("signature flooding:    puzzleRejects=%d sigVerifications=%d completed=%d/%d\n",
+		res.SigFlood.PuzzleRejects, res.SigFlood.SigVerifications, res.SigFlood.Completed, res.SigFlood.Nodes)
+	fmt.Printf("denial of receipt:     victimTx(no defense)=%d victimTx(defense)=%d\n",
+		res.DoRVictimTxNoDefense, res.DoRVictimTxDefense)
+	fmt.Println()
+	return nil
+}
+
+func ablation(c sweepConfig) error {
+	fmt.Println("=== Scheduler ablation (§IV-D.3): greedy-RR vs union vs fresh-RR ===")
+	res, err := experiment.SchedulerAblation(c.params(), c.imageSize()/2, 20, 0.2, c.runs, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s %12s %10s\n", "policy", "data", "snack", "bytes", "lat(s)")
+	for _, policy := range []experiment.LRPolicy{experiment.GreedyRR, experiment.UnionBits, experiment.FreshRR} {
+		r := res[policy]
+		fmt.Printf("%-10s %10.0f %10.0f %12.0f %10.1f\n", policy, r.DataPkts, r.SnackPkts, r.TotalBytes, r.LatencySec)
+	}
+	fmt.Println()
+	return nil
+}
+
+func upgrade(c sweepConfig) error {
+	fmt.Println("=== Secure version upgrade: v1 network reprogrammed to v2 ===")
+	res, err := experiment.VersionUpgrade(c.params(), c.imageSize()/2, 10, 0.1, c.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("v1 latency=%.1fs  upgrade latency=%.1fs  upgrade bytes=%d  upgraded=%d/%d  imagesOK=%v\n",
+		res.V1Latency.Seconds(), res.UpgradeLatency.Seconds(), res.UpgradeBytes, res.Upgraded, res.Nodes, res.ImagesOK)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command lrsim runs a single code-dissemination simulation and prints the
+// paper's metrics. It is the interactive companion to cmd/figures: one
+// scenario, fully parameterized from the command line.
+//
+// Examples:
+//
+//	lrsim -proto lr-seluge -kb 20 -receivers 20 -loss 0.1
+//	lrsim -proto seluge -topology grid -rows 15 -cols 15 -density medium -noise heavy
+//	lrsim -proto lr-seluge -k 32 -n 64 -loss 0.3 -policy fresh-rr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lrseluge"
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/image"
+)
+
+func main() {
+	var (
+		proto     = flag.String("proto", "lr-seluge", "protocol: deluge, seluge, lr-seluge, rateless")
+		kb        = flag.Int("kb", 20, "code image size in KiB")
+		receivers = flag.Int("receivers", 20, "one-hop receivers (ignored for grid topologies)")
+		loss      = flag.Float64("loss", 0.1, "iid packet-loss probability at each receiver")
+		noise     = flag.String("noise", "", "channel model override: '' (bernoulli via -loss) or 'heavy' (bursty Gilbert-Elliott)")
+		topology  = flag.String("topology", "onehop", "topology: onehop, grid, random")
+		rows      = flag.Int("rows", 15, "grid rows")
+		cols      = flag.Int("cols", 15, "grid cols")
+		density   = flag.String("density", "tight", "grid density: tight, medium")
+		side      = flag.Float64("side", 100, "random topology square side")
+		nodes     = flag.Int("nodes", 50, "random topology node count")
+		payload   = flag.Int("payload", 72, "packet payload bytes")
+		k         = flag.Int("k", 32, "source blocks per page")
+		n         = flag.Int("n", 48, "encoded packets per page (LR-Seluge)")
+		policy    = flag.String("policy", "greedy-rr", "LR-Seluge TX policy: greedy-rr, union, fresh-rr")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		runs      = flag.Int("runs", 1, "runs to average")
+	)
+	flag.Parse()
+
+	s := lrseluge.Scenario{
+		ImageSize: *kb * 1024,
+		Params:    image.Params{PacketPayload: *payload, K: *k, N: *n},
+		Receivers: *receivers,
+		Seed:      *seed,
+	}
+
+	switch *proto {
+	case "deluge":
+		s.Protocol = lrseluge.Deluge
+	case "seluge":
+		s.Protocol = lrseluge.Seluge
+	case "lr-seluge":
+		s.Protocol = lrseluge.LRSeluge
+	case "rateless":
+		s.Protocol = lrseluge.RatelessDeluge
+	default:
+		fmt.Fprintf(os.Stderr, "lrsim: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	switch *policy {
+	case "greedy-rr":
+		s.LRPolicy = experiment.GreedyRR
+	case "union":
+		s.LRPolicy = experiment.UnionBits
+	case "fresh-rr":
+		s.LRPolicy = experiment.FreshRR
+	default:
+		fmt.Fprintf(os.Stderr, "lrsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	switch *topology {
+	case "onehop":
+		s.LossP = *loss
+	case "grid":
+		d := lrseluge.Tight
+		if *density == "medium" {
+			d = lrseluge.Medium
+		}
+		g, err := lrseluge.Grid(*rows, *cols, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Graph = g
+	case "random":
+		g, err := lrseluge.RandomTopology(*nodes, *side, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Graph = g
+	default:
+		fmt.Fprintf(os.Stderr, "lrsim: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	if *noise == "heavy" {
+		s.LossFactory = func() lrseluge.LossModel { return lrseluge.HeavyNoise() }
+	}
+
+	res, err := lrseluge.RunAvg(s, *runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("protocol:          %v\n", s.Protocol)
+	fmt.Printf("image:             %d KiB (k=%d, n=%d, payload=%d B)\n", *kb, *k, *n, *payload)
+	fmt.Printf("runs averaged:     %d\n", *runs)
+	fmt.Printf("completed:         %.0f%% of nodes\n", 100*res.Completed)
+	fmt.Printf("images verified:   %v\n", res.ImagesOK)
+	fmt.Printf("data packets:      %.0f\n", res.DataPkts)
+	fmt.Printf("SNACK packets:     %.0f\n", res.SnackPkts)
+	fmt.Printf("adv packets:       %.0f\n", res.AdvPkts)
+	fmt.Printf("signature packets: %.0f\n", res.SigPkts)
+	fmt.Printf("total bytes:       %.0f\n", res.TotalBytes)
+	fmt.Printf("latency:           %.1f s\n", res.LatencySec)
+}

@@ -1,0 +1,75 @@
+// Scheduler: a step-by-step walkthrough of LR-Seluge's greedy round-robin
+// transmission scheduler (paper §IV-D.3 and Table I).
+//
+// Three neighbors request packets of a page that was erasure-coded into
+// n = 4 packets with k' = 3 needed. The server's tracking table holds each
+// requester's wanted-bit vector and its distance d = q + k' - n; every
+// transmission picks the most popular packet (ties broken round-robin to
+// the right) and decrements the distance of everyone who wanted it.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"lrseluge/internal/core"
+	"lrseluge/internal/packet"
+)
+
+func bits(s string) packet.BitVector {
+	v := packet.NewBitVector(len(s))
+	for i, c := range s {
+		v.Set(i, c == '1')
+	}
+	return v
+}
+
+func printTable(s *core.Scheduler) {
+	bitsByNode, distByNode := s.Tracking(0)
+	if len(bitsByNode) == 0 {
+		fmt.Println("   tracking table: empty")
+		return
+	}
+	ids := make([]int, 0, len(bitsByNode))
+	for id := range bitsByNode {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	fmt.Println("   node | P1 P2 P3 P4 | distance")
+	for _, id := range ids {
+		b := bitsByNode[packet.NodeID(id)]
+		fmt.Printf("   v%-3d |  %c  %c  %c  %c | %d\n", id, b[0], b[1], b[2], b[3], distByNode[packet.NodeID(id)])
+	}
+}
+
+func main() {
+	// n = 4 encoded packets per page, k' = 3 suffice to decode.
+	sched := core.NewScheduler(
+		func(int) int { return 4 },
+		func(int) int { return 3 },
+	)
+
+	fmt.Println("SNACKs arrive from three neighbors (wanted packets P1..P4):")
+	fmt.Println("   v1 wants P1,P2,P4  -> q=3, d = 3+3-4 = 2")
+	fmt.Println("   v2 wants P1,P2     -> q=2, d = 2+3-4 = 1")
+	fmt.Println("   v3 wants P2,P4     -> q=2, d = 2+3-4 = 1")
+	sched.OnSNACK(1, 0, bits("1101"))
+	sched.OnSNACK(2, 0, bits("1100"))
+	sched.OnSNACK(3, 0, bits("0101"))
+	fmt.Println()
+	printTable(sched)
+
+	step := 1
+	for {
+		_, idx, ok := sched.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("\nTransmission %d: P%d (highest popularity, round-robin tie-break)\n", step, idx+1)
+		printTable(sched)
+		step++
+	}
+	fmt.Println("\nEvery neighbor reached distance zero: the page is recoverable")
+	fmt.Println("everywhere after only", step-1, "transmissions, versus the 4 a")
+	fmt.Println("union-of-requests policy (Deluge/Seluge) would have sent.")
+}

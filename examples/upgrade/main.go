@@ -1,0 +1,36 @@
+// Upgrade: the paper's whole point is over-the-air REprogramming — this
+// example shows a network running version 1 being securely upgraded to
+// version 2.
+//
+// The version number is bound into both the signature and the puzzle key
+// chain (key K_v hashes to the preloaded commitment in exactly v steps), so
+// a node discards its old image only after cryptographic proof that a newer
+// genuine version exists. An attacker advertising "version 99" achieves
+// nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrseluge"
+)
+
+func main() {
+	fmt.Println("Phase 1: disseminate version 1 to 10 receivers at 10% loss.")
+	fmt.Println("Phase 2: inject version 2 at the base station; nodes verify the new")
+	fmt.Println("signature against the key chain before discarding their state.")
+	fmt.Println()
+
+	res, err := lrseluge.VersionUpgrade(lrseluge.DefaultParams(), 8*1024, 10, 0.1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("version-1 dissemination latency: %.1f s\n", res.V1Latency.Seconds())
+	fmt.Printf("upgrade latency (inject -> all on v2): %.1f s\n", res.UpgradeLatency.Seconds())
+	fmt.Printf("upgrade communication: %d bytes\n", res.UpgradeBytes)
+	fmt.Printf("nodes upgraded: %d/%d\n", res.Upgraded, res.Nodes)
+	fmt.Printf("version-2 images verified byte-exact: %v\n", res.ImagesOK)
+	fmt.Printf("signature verifications across both versions: %d\n", res.SigVerifications)
+}

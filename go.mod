@@ -1,0 +1,3 @@
+module lrseluge
+
+go 1.22

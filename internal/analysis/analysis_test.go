@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelugeNoLossIsK(t *testing.T) {
+	got, err := SelugeDataTx(32, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("p=0: %f, want 32", got)
+	}
+}
+
+func TestSelugeSingleReceiverGeometric(t *testing.T) {
+	// With one receiver, E[T] per packet is 1/(1-p).
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		got, err := SelugeDataTx(1, 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 - p)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("p=%f: %f, want %f", p, got, want)
+		}
+	}
+}
+
+func TestSelugeMonotoneInLossAndReceivers(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		got, err := SelugeDataTx(32, 20, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev && p > 0 {
+			t.Fatalf("not increasing in p at %f", p)
+		}
+		prev = got
+	}
+	prev = 0
+	for _, n := range []int{1, 2, 5, 10, 20, 40} {
+		got, err := SelugeDataTx(32, n, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Fatalf("not increasing in N at %d", n)
+		}
+		prev = got
+	}
+}
+
+func TestACKLRNoLossIsN(t *testing.T) {
+	got, err := ACKBasedLRDataTx(32, 48, 32, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 48 {
+		t.Fatalf("p=0: %f, want 48", got)
+	}
+}
+
+func TestACKLRStepsUpWhenOneRoundStopsSufficing(t *testing.T) {
+	// The paper observes a jump when the loss rate crosses the point where
+	// a single round of n packets stops delivering k' with high
+	// probability (n=48, k'=32 => around 1 - 32/48 = 1/3).
+	low, err := ACKBasedLRDataTx(32, 48, 32, 10, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ACKBasedLRDataTx(32, 48, 32, 10, 0.42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < 1.6*low {
+		t.Fatalf("expected a round jump: low=%f high=%f", low, high)
+	}
+	if low < 48 || math.Abs(low-48) > 4 {
+		t.Fatalf("below the knee one round should nearly suffice: %f", low)
+	}
+}
+
+func TestACKLRBeatsSelugeInLossyRegime(t *testing.T) {
+	// The motivating comparison: for meaningful loss, the erasure-coded
+	// scheme needs fewer transmissions per page even in its ACK-based
+	// upper-bound form.
+	for _, p := range []float64{0.15, 0.2, 0.25} {
+		seluge, err := SelugeDataTx(32, 20, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := ACKBasedLRDataTx(32, 48, 32, 20, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr >= seluge {
+			t.Fatalf("p=%f: ACK-LR %f >= Seluge %f", p, lr, seluge)
+		}
+	}
+}
+
+func TestLRLowerBound(t *testing.T) {
+	got, err := LRLowerBoundDataTx(32, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-40) > 1e-9 {
+		t.Fatalf("floor %f, want 40", got)
+	}
+	if _, err := LRLowerBoundDataTx(0, 0.2); err == nil {
+		t.Fatal("invalid kprime accepted")
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if _, err := SelugeDataTx(0, 5, 0.1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SelugeDataTx(5, 0, 0.1); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := SelugeDataTx(5, 5, 1.0); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+	if _, err := SelugeDataTx(5, 5, -0.1); err == nil {
+		t.Fatal("p<0 accepted")
+	}
+	if _, err := ACKBasedLRDataTx(8, 4, 8, 5, 0.1); err == nil {
+		t.Fatal("n<k accepted")
+	}
+	if _, err := ACKBasedLRDataTx(8, 16, 4, 5, 0.1); err == nil {
+		t.Fatal("k'<k accepted")
+	}
+}
+
+func TestBinomTail(t *testing.T) {
+	if got := binomTailGE(10, 0, 0.5); got != 1 {
+		t.Fatalf("P(X>=0) = %f", got)
+	}
+	if got := binomTailGE(10, 11, 0.5); got > 1e-12 {
+		t.Fatalf("P(X>=11 of 10) = %f", got)
+	}
+	// P(Bin(2, 0.5) >= 1) = 0.75
+	if got := binomTailGE(2, 1, 0.5); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("P = %f, want 0.75", got)
+	}
+	if got := binomTailGE(10, 5, 0); got != 0 {
+		t.Fatalf("q=0 tail = %f", got)
+	}
+	if got := binomTailGE(10, 5, 1); got != 1 {
+		t.Fatalf("q=1 tail = %f", got)
+	}
+}

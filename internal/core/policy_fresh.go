@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/packet"
+)
+
+// FreshPolicy is an ablation baseline modeling rateless-style serving (as in
+// Rateless Deluge / SYNAPSE): the server ignores WHICH packets a requester
+// asks for and simply transmits the next encoded packet in round-robin
+// order, sending enough packets to cover the largest outstanding distance.
+// With a fixed-rate code it wraps around after n packets.
+//
+// Compared with the paper's greedy scheduler it wastes transmissions when
+// requesters' missing sets overlap (popularity information is discarded),
+// which is exactly what the ablation bench quantifies.
+type FreshPolicy struct {
+	sizeOf   func(unit int) int
+	neededOf func(unit int) int
+	units    map[int]*freshUnit
+	// nextIdx persists each unit's round-robin pointer across drain
+	// cycles; restarting from 0 would starve receivers that already hold
+	// the low indices.
+	nextIdx map[int]int
+}
+
+type freshUnit struct {
+	// remaining transmissions owed, the max of requesters' distances.
+	owed map[packet.NodeID]int
+	next int
+}
+
+var _ dissem.TxPolicy = (*FreshPolicy)(nil)
+
+// NewFreshPolicy creates the rateless-style serving policy.
+func NewFreshPolicy(sizeOf, neededOf func(unit int) int) *FreshPolicy {
+	return &FreshPolicy{
+		sizeOf:   sizeOf,
+		neededOf: neededOf,
+		units:    make(map[int]*freshUnit),
+		nextIdx:  make(map[int]int),
+	}
+}
+
+// OnSNACK implements dissem.TxPolicy: only the requester's distance is kept;
+// the bit vector's specifics are discarded (rateless senders do not track
+// which packets a receiver holds).
+func (p *FreshPolicy) OnSNACK(from packet.NodeID, u int, bits packet.BitVector) {
+	n := p.sizeOf(u)
+	if bits.Len() != n {
+		return
+	}
+	q := bits.Count()
+	fu := p.units[u]
+	if q == 0 {
+		if fu != nil {
+			delete(fu.owed, from)
+			if len(fu.owed) == 0 {
+				delete(p.units, u)
+			}
+		}
+		return
+	}
+	// A requester that still asks for packets needs at least one more:
+	// with probabilistic (LT) decoding the nominal distance can reach zero
+	// while decoding is still incomplete.
+	dist := q + p.neededOf(u) - n
+	if dist < 1 {
+		dist = 1
+	}
+	if fu == nil {
+		fu = &freshUnit{owed: make(map[packet.NodeID]int), next: p.nextIdx[u]}
+		p.units[u] = fu
+	}
+	fu.owed[from] = dist
+}
+
+// OnDataOverheard implements dissem.TxPolicy: another server's transmission
+// counts toward every requester's distance.
+func (p *FreshPolicy) OnDataOverheard(u, _ int) {
+	fu := p.units[u]
+	if fu == nil {
+		return
+	}
+	for id := range fu.owed {
+		fu.owed[id]--
+		if fu.owed[id] <= 0 {
+			delete(fu.owed, id)
+		}
+	}
+	if len(fu.owed) == 0 {
+		delete(p.units, u)
+	}
+}
+
+// Next implements dissem.TxPolicy.
+func (p *FreshPolicy) Next() (int, int, bool) {
+	u, fu, ok := p.lowestUnit()
+	if !ok {
+		return 0, 0, false
+	}
+	idx := fu.next
+	fu.next = (fu.next + 1) % p.sizeOf(u)
+	p.nextIdx[u] = fu.next
+	for id := range fu.owed {
+		fu.owed[id]--
+		if fu.owed[id] <= 0 {
+			delete(fu.owed, id)
+		}
+	}
+	if len(fu.owed) == 0 {
+		delete(p.units, u)
+	}
+	return u, idx, true
+}
+
+// Pending implements dissem.TxPolicy.
+func (p *FreshPolicy) Pending() bool {
+	for _, fu := range p.units {
+		if len(fu.owed) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DropRequester implements dissem.TxPolicy.
+func (p *FreshPolicy) DropRequester(from packet.NodeID) {
+	for u, fu := range p.units {
+		delete(fu.owed, from)
+		if len(fu.owed) == 0 {
+			delete(p.units, u)
+		}
+	}
+}
+
+// Reset implements dissem.TxPolicy.
+func (p *FreshPolicy) Reset() {
+	p.units = make(map[int]*freshUnit)
+	p.nextIdx = make(map[int]int)
+}
+
+func (p *FreshPolicy) lowestUnit() (int, *freshUnit, bool) {
+	if len(p.units) == 0 {
+		return 0, nil, false
+	}
+	keys := make([]int, 0, len(p.units))
+	for u := range p.units {
+		keys = append(keys, u)
+	}
+	sort.Ints(keys)
+	for _, u := range keys {
+		if len(p.units[u].owed) > 0 {
+			return u, p.units[u], true
+		}
+		delete(p.units, u)
+	}
+	return 0, nil, false
+}

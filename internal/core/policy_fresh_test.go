@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"lrseluge/internal/packet"
+)
+
+func freshFor(n, kprime int) *FreshPolicy {
+	return NewFreshPolicy(func(int) int { return n }, func(int) int { return kprime })
+}
+
+func drainFresh(p *FreshPolicy) []int {
+	var out []int
+	for {
+		_, idx, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, idx)
+	}
+}
+
+func TestFreshServesDistancePackets(t *testing.T) {
+	p := freshFor(8, 8)
+	bits := packet.NewBitVector(8)
+	bits.Set(1, true)
+	bits.Set(5, true)
+	bits.Set(7, true)
+	p.OnSNACK(1, 0, bits) // q=3, d=3
+	sent := drainFresh(p)
+	// Fresh policy ignores which packets were asked for: indices 0,1,2.
+	if len(sent) != 3 || sent[0] != 0 || sent[1] != 1 || sent[2] != 2 {
+		t.Fatalf("sent %v, want [0 1 2]", sent)
+	}
+}
+
+func TestFreshPointerPersistsAcrossRounds(t *testing.T) {
+	p := freshFor(8, 8)
+	bits := packet.NewBitVector(8)
+	bits.Set(0, true)
+	bits.Set(1, true)
+	p.OnSNACK(1, 0, bits)
+	drainFresh(p)
+	p.OnSNACK(1, 0, bits)
+	_, idx, ok := p.Next()
+	if !ok || idx != 2 {
+		t.Fatalf("second round should continue at 2, got %d", idx)
+	}
+}
+
+func TestFreshWrapsAround(t *testing.T) {
+	p := freshFor(4, 4)
+	all := packet.NewBitVector(4)
+	all.SetAll()
+	p.OnSNACK(1, 0, all)
+	drainFresh(p) // 0..3
+	p.OnSNACK(1, 0, all)
+	sent := drainFresh(p)
+	if len(sent) != 4 || sent[0] != 0 {
+		t.Fatalf("wrap-around wrong: %v", sent)
+	}
+}
+
+func TestFreshSharedTransmissions(t *testing.T) {
+	// Two requesters with distances 2 and 3: only 3 packets total (every
+	// fresh packet helps both).
+	p := freshFor(16, 10)
+	a := packet.NewBitVector(16)
+	b := packet.NewBitVector(16)
+	for i := 0; i < 8; i++ {
+		a.Set(i, true) // q=8, d=8+10-16=2
+	}
+	for i := 0; i < 9; i++ {
+		b.Set(i, true) // q=9, d=3
+	}
+	p.OnSNACK(1, 0, a)
+	p.OnSNACK(2, 0, b)
+	if got := len(drainFresh(p)); got != 3 {
+		t.Fatalf("sent %d, want 3 (max distance)", got)
+	}
+}
+
+func TestFreshOverheardReducesDebt(t *testing.T) {
+	p := freshFor(8, 8)
+	bits := packet.NewBitVector(8)
+	bits.Set(0, true)
+	bits.Set(1, true)
+	bits.Set(2, true)
+	p.OnSNACK(1, 0, bits) // d=3
+	p.OnDataOverheard(0, 5)
+	p.OnDataOverheard(0, 6)
+	if got := len(drainFresh(p)); got != 1 {
+		t.Fatalf("sent %d, want 1 after two overheard", got)
+	}
+}
+
+func TestFreshNearSatisfiedRequesterServedOne(t *testing.T) {
+	// With probabilistic (LT) decoding a requester's nominal distance can
+	// be <= 0 while it still needs symbols, so any request with bits set
+	// is served at least one packet.
+	p := freshFor(16, 8)
+	bits := packet.NewBitVector(16)
+	bits.Set(0, true) // q=1, nominal d=1+8-16 < 0
+	p.OnSNACK(1, 0, bits)
+	if got := len(drainFresh(p)); got != 1 {
+		t.Fatalf("served %d, want exactly 1", got)
+	}
+}
+
+func TestFreshEmptyRequestDropped(t *testing.T) {
+	p := freshFor(16, 8)
+	p.OnSNACK(1, 0, packet.NewBitVector(16)) // q=0: nothing wanted
+	if p.Pending() {
+		t.Fatal("empty request created work")
+	}
+}
+
+func TestFreshDropRequesterAndReset(t *testing.T) {
+	p := freshFor(4, 4)
+	all := packet.NewBitVector(4)
+	all.SetAll()
+	p.OnSNACK(1, 0, all)
+	p.DropRequester(1)
+	if p.Pending() {
+		t.Fatal("DropRequester left work")
+	}
+	p.OnSNACK(1, 0, all)
+	drainFresh(p)
+	p.Reset()
+	p.OnSNACK(1, 0, all)
+	_, idx, _ := p.Next()
+	if idx != 0 {
+		t.Fatalf("Reset should clear the pointer, got %d", idx)
+	}
+}
+
+func BenchmarkSchedulerNext(b *testing.B) {
+	all := packet.NewBitVector(48)
+	all.SetAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := schedFor(48, 32)
+		for id := packet.NodeID(1); id <= 20; id++ {
+			s.OnSNACK(id, 0, all)
+		}
+		for {
+			if _, _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	}
+}

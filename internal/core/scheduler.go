@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/packet"
+)
+
+// Scheduler is LR-Seluge's greedy round-robin transmission scheduler (paper
+// §IV-D.3, Table I): a serving node maintains a tracking table with one
+// entry per requesting neighbor (its wanted-packet bit vector and its
+// distance d_v = q + k' - n, the number of additional packets it needs) and
+// repeatedly transmits the packet wanted by the most neighbors, breaking
+// ties round-robin to the right of the previously transmitted index.
+//
+// This lets one transmission satisfy many neighbors at once and stops as
+// soon as every neighbor's distance reaches zero — far fewer transmissions
+// than the union policy when losses decorrelate the neighbors' needs.
+type Scheduler struct {
+	sizeOf   func(unit int) int
+	neededOf func(unit int) int
+	units    map[int]*trackTable
+	// lastIdx persists the round-robin pointer per unit across tracking
+	// table drain/recreate cycles, so later request rounds continue into
+	// fresh (never-transmitted) encoded packets instead of rescanning from
+	// index 0 — fresh packets help every receiver that still needs any.
+	lastIdx map[int]int
+}
+
+type trackTable struct {
+	entries map[packet.NodeID]*trackEntry
+	last    int // index of the most recently transmitted packet; -1 initially
+}
+
+type trackEntry struct {
+	bits packet.BitVector
+	dist int
+}
+
+var _ dissem.TxPolicy = (*Scheduler)(nil)
+
+// NewScheduler creates a scheduler; sizeOf and neededOf map a unit to its
+// packet count n and recovery threshold k'.
+func NewScheduler(sizeOf, neededOf func(unit int) int) *Scheduler {
+	return &Scheduler{
+		sizeOf:   sizeOf,
+		neededOf: neededOf,
+		units:    make(map[int]*trackTable),
+		lastIdx:  make(map[int]int),
+	}
+}
+
+// OnSNACK implements dissem.TxPolicy: create or refresh the tracking entry
+// for the requester. The distance is d_v = q + k' - n where q is the number
+// of requested packets (paper §IV-D.3).
+func (s *Scheduler) OnSNACK(from packet.NodeID, u int, bits packet.BitVector) {
+	n := s.sizeOf(u)
+	if bits.Len() != n {
+		return // malformed request
+	}
+	q := bits.Count()
+	dist := q + s.neededOf(u) - n
+	tbl := s.units[u]
+	if q == 0 || dist <= 0 {
+		// The requester can already recover the unit; clear any state.
+		if tbl != nil {
+			delete(tbl.entries, from)
+			if len(tbl.entries) == 0 {
+				delete(s.units, u)
+			}
+		}
+		return
+	}
+	if tbl == nil {
+		last, ok := s.lastIdx[u]
+		if !ok {
+			last = -1
+		}
+		tbl = &trackTable{entries: make(map[packet.NodeID]*trackEntry), last: last}
+		s.units[u] = tbl
+	}
+	tbl.entries[from] = &trackEntry{bits: bits.Clone(), dist: dist}
+}
+
+// OnDataOverheard implements dissem.TxPolicy: another node just broadcast
+// packet idx of unit u; the tracking table is updated exactly as if we had
+// transmitted it ourselves (requesters in range received it; any that
+// missed it will re-SNACK).
+func (s *Scheduler) OnDataOverheard(u, idx int) {
+	tbl := s.units[u]
+	if tbl == nil || idx < 0 || idx >= s.sizeOf(u) {
+		return
+	}
+	for id, e := range tbl.entries {
+		if e.bits.Get(idx) {
+			e.bits.Set(idx, false)
+			e.dist--
+			if e.dist <= 0 {
+				delete(tbl.entries, id)
+			}
+		}
+	}
+	if len(tbl.entries) == 0 {
+		delete(s.units, u)
+	}
+}
+
+// Next implements dissem.TxPolicy: serve the lowest pending unit; within it
+// transmit the most popular packet, scanning right from the last transmitted
+// index on ties.
+func (s *Scheduler) Next() (int, int, bool) {
+	for {
+		u, tbl, ok := s.lowestUnit()
+		if !ok {
+			return 0, 0, false
+		}
+		n := s.sizeOf(u)
+		pop := make([]int, n)
+		maxPop := 0
+		for _, e := range tbl.entries {
+			for j := 0; j < n; j++ {
+				if e.bits.Get(j) {
+					pop[j]++
+					if pop[j] > maxPop {
+						maxPop = pop[j]
+					}
+				}
+			}
+		}
+		if maxPop == 0 {
+			// Entries with positive distance but no wanted bits cannot
+			// occur for well-formed requests; drop the stale table.
+			delete(s.units, u)
+			continue
+		}
+		// Scan circularly starting just right of the last transmission
+		// (or from index 0 initially, which also realizes the
+		// lowest-index tie-break of the first pick).
+		start := 0
+		if tbl.last >= 0 {
+			start = (tbl.last + 1) % n
+		}
+		choice := -1
+		for off := 0; off < n; off++ {
+			j := (start + off) % n
+			if pop[j] == maxPop {
+				choice = j
+				break
+			}
+		}
+		// Update the table: clear column `choice`, decrement distances of
+		// the neighbors that wanted it, and drop satisfied entries.
+		for id, e := range tbl.entries {
+			if e.bits.Get(choice) {
+				e.bits.Set(choice, false)
+				e.dist--
+				if e.dist <= 0 {
+					delete(tbl.entries, id)
+				}
+			}
+		}
+		tbl.last = choice
+		s.lastIdx[u] = choice
+		if len(tbl.entries) == 0 {
+			delete(s.units, u)
+		}
+		return u, choice, true
+	}
+}
+
+// Pending implements dissem.TxPolicy.
+func (s *Scheduler) Pending() bool {
+	for _, tbl := range s.units {
+		if len(tbl.entries) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DropRequester implements dissem.TxPolicy: the denial-of-receipt defense
+// removes all state for the offending neighbor.
+func (s *Scheduler) DropRequester(from packet.NodeID) {
+	for u, tbl := range s.units {
+		delete(tbl.entries, from)
+		if len(tbl.entries) == 0 {
+			delete(s.units, u)
+		}
+	}
+}
+
+// Reset implements dissem.TxPolicy.
+func (s *Scheduler) Reset() {
+	s.units = make(map[int]*trackTable)
+	s.lastIdx = make(map[int]int)
+}
+
+// Tracking returns the current wanted-bit vectors and distances for a unit,
+// exposed for tests reproducing the paper's Table I.
+func (s *Scheduler) Tracking(u int) (map[packet.NodeID]string, map[packet.NodeID]int) {
+	tbl := s.units[u]
+	if tbl == nil {
+		return nil, nil
+	}
+	bits := make(map[packet.NodeID]string, len(tbl.entries))
+	dist := make(map[packet.NodeID]int, len(tbl.entries))
+	for id, e := range tbl.entries {
+		bits[id] = e.bits.String()
+		dist[id] = e.dist
+	}
+	return bits, dist
+}
+
+func (s *Scheduler) lowestUnit() (int, *trackTable, bool) {
+	if len(s.units) == 0 {
+		return 0, nil, false
+	}
+	keys := make([]int, 0, len(s.units))
+	for u := range s.units {
+		keys = append(keys, u)
+	}
+	sort.Ints(keys)
+	for _, u := range keys {
+		if len(s.units[u].entries) > 0 {
+			return u, s.units[u], true
+		}
+		delete(s.units, u)
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,101 @@
+// Package hashx provides the truncated cryptographic "hash images" used
+// throughout Seluge and LR-Seluge.
+//
+// Seluge-style protocols chain packets with 64-bit truncated hashes to keep
+// per-packet overhead small (8 bytes per image). This package computes them
+// as the first 8 bytes of SHA-256. The truncation length is a protocol
+// constant: every node and the base station must agree on it.
+package hashx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Size is the length in bytes of a hash image.
+const Size = 8
+
+// Image is a truncated hash of a packet or block.
+type Image [Size]byte
+
+// Zero is the all-zero image, used as a sentinel for "no hash known".
+var Zero Image
+
+// Sum computes the hash image of the concatenation of parts.
+func Sum(parts ...[]byte) Image {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var full [sha256.Size]byte
+	h.Sum(full[:0])
+	var img Image
+	copy(img[:], full[:Size])
+	return img
+}
+
+// SumImages hashes the concatenation of images, used for Merkle interior
+// nodes.
+func SumImages(imgs ...Image) Image {
+	h := sha256.New()
+	for _, im := range imgs {
+		h.Write(im[:])
+	}
+	var full [sha256.Size]byte
+	h.Sum(full[:0])
+	var img Image
+	copy(img[:], full[:Size])
+	return img
+}
+
+// Full computes the untruncated SHA-256 digest, used where the full strength
+// is required (signature pre-hash, key chains).
+func Full(parts ...[]byte) [sha256.Size]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Bytes returns the image as a fresh byte slice.
+func (im Image) Bytes() []byte { return append([]byte(nil), im[:]...) }
+
+// IsZero reports whether the image is the zero sentinel.
+func (im Image) IsZero() bool { return im == Zero }
+
+// String renders the image as lowercase hex.
+func (im Image) String() string { return hex.EncodeToString(im[:]) }
+
+// FromBytes parses an image from the first Size bytes of b. It panics if b is
+// too short; callers validate packet lengths before parsing.
+func FromBytes(b []byte) Image {
+	var img Image
+	copy(img[:], b[:Size])
+	return img
+}
+
+// Concat flattens a list of images into a byte slice, the layout of the hash
+// page M0 (paper §IV-C: M0 is the concatenation h_{1,1} | ... | h_{1,n}).
+func Concat(imgs []Image) []byte {
+	out := make([]byte, 0, len(imgs)*Size)
+	for _, im := range imgs {
+		out = append(out, im[:]...)
+	}
+	return out
+}
+
+// Split parses a concatenation produced by Concat back into images. The
+// input length must be a multiple of Size.
+func Split(b []byte) []Image {
+	if len(b)%Size != 0 {
+		panic("hashx: Split input not a multiple of image size")
+	}
+	out := make([]Image, len(b)/Size)
+	for i := range out {
+		copy(out[i][:], b[i*Size:])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package hashx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	if a != b {
+		t.Fatal("Sum not deterministic")
+	}
+	if a == Sum([]byte("world")) {
+		t.Fatal("different inputs collide trivially")
+	}
+}
+
+func TestSumMultiPartEqualsConcat(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		joined := append(append([]byte(nil), a...), b...)
+		return Sum(a, b) == Sum(joined)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumMatchesFullPrefix(t *testing.T) {
+	msg := []byte("lr-seluge")
+	full := Full(msg)
+	img := Sum(msg)
+	if !bytes.Equal(img[:], full[:Size]) {
+		t.Fatal("Sum is not the truncation of Full")
+	}
+}
+
+func TestSumImages(t *testing.T) {
+	a, b := Sum([]byte("a")), Sum([]byte("b"))
+	got := SumImages(a, b)
+	want := Sum(append(a.Bytes(), b.Bytes()...))
+	if got != want {
+		t.Fatal("SumImages differs from Sum over concatenated bytes")
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	imgs := []Image{Sum([]byte("x")), Sum([]byte("y")), Sum([]byte("z"))}
+	back := Split(Concat(imgs))
+	if len(back) != 3 {
+		t.Fatalf("got %d images", len(back))
+	}
+	for i := range imgs {
+		if back[i] != imgs[i] {
+			t.Fatalf("image %d mismatch", i)
+		}
+	}
+}
+
+func TestSplitBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(make([]byte, Size+1))
+}
+
+func TestZeroAndIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() false")
+	}
+	if Sum([]byte("a")).IsZero() {
+		t.Fatal("hash of data reported zero")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	img := Sum([]byte("q"))
+	if FromBytes(img.Bytes()) != img {
+		t.Fatal("FromBytes roundtrip failed")
+	}
+	// Extra bytes beyond Size are ignored.
+	if FromBytes(append(img.Bytes(), 0xff)) != img {
+		t.Fatal("FromBytes should read only the first Size bytes")
+	}
+}
+
+func TestStringIsHex(t *testing.T) {
+	s := Sum([]byte("a")).String()
+	if len(s) != 2*Size {
+		t.Fatalf("hex length %d, want %d", len(s), 2*Size)
+	}
+}

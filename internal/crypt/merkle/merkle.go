@@ -1,0 +1,98 @@
+// Package merkle implements the Merkle hash tree Seluge and LR-Seluge build
+// over the encoded blocks of the hash page M0 (paper §IV-C, Fig. 2).
+//
+// The tree has n0 = 2^d leaves; leaf j is H(block_j). Every M0 packet carries
+// its block plus the d sibling images along the path to the root, so a
+// receiver that knows the (signed) root can authenticate any M0 packet
+// immediately on arrival with d+1 hash evaluations.
+package merkle
+
+import (
+	"fmt"
+
+	"lrseluge/internal/crypt/hashx"
+)
+
+// Tree is a complete binary Merkle hash tree. Immutable after Build.
+type Tree struct {
+	depth  int
+	leaves int
+	// levels[0] holds the leaf images (length n0); levels[depth] holds the
+	// single root.
+	levels [][]hashx.Image
+}
+
+// Build constructs a tree over the given blocks. The number of blocks must be
+// a power of two and at least one.
+func Build(blocks [][]byte) (*Tree, error) {
+	n := len(blocks)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("merkle: leaf count %d is not a power of two", n)
+	}
+	depth := 0
+	for 1<<depth < n {
+		depth++
+	}
+	levels := make([][]hashx.Image, depth+1)
+	levels[0] = make([]hashx.Image, n)
+	for i, b := range blocks {
+		levels[0][i] = hashx.Sum(b)
+	}
+	for lv := 1; lv <= depth; lv++ {
+		prev := levels[lv-1]
+		cur := make([]hashx.Image, len(prev)/2)
+		for i := range cur {
+			cur[i] = hashx.SumImages(prev[2*i], prev[2*i+1])
+		}
+		levels[lv] = cur
+	}
+	return &Tree{depth: depth, leaves: n, levels: levels}, nil
+}
+
+// Depth returns the tree depth d (number of proof images per leaf).
+func (t *Tree) Depth() int { return t.depth }
+
+// NumLeaves returns the leaf count n0 = 2^d.
+func (t *Tree) NumLeaves() int { return t.leaves }
+
+// Root returns the root image, the value the base station signs.
+func (t *Tree) Root() hashx.Image { return t.levels[t.depth][0] }
+
+// Proof returns the sibling images along the path from leaf index to the
+// root, ordered bottom-up. The slice has length Depth().
+func (t *Tree) Proof(index int) ([]hashx.Image, error) {
+	if index < 0 || index >= t.leaves {
+		return nil, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", index, t.leaves)
+	}
+	proof := make([]hashx.Image, 0, t.depth)
+	i := index
+	for lv := 0; lv < t.depth; lv++ {
+		proof = append(proof, t.levels[lv][i^1])
+		i >>= 1
+	}
+	return proof, nil
+}
+
+// Verify checks that block is the leaf at index in a tree with the given
+// root, using the bottom-up sibling proof. This is the per-packet
+// authentication check performed by sensor nodes (paper Eq. before (4)).
+func Verify(root hashx.Image, block []byte, index int, proof []hashx.Image) bool {
+	if index < 0 || index >= 1<<len(proof) {
+		return false
+	}
+	cur := hashx.Sum(block)
+	i := index
+	for _, sib := range proof {
+		if i&1 == 0 {
+			cur = hashx.SumImages(cur, sib)
+		} else {
+			cur = hashx.SumImages(sib, cur)
+		}
+		i >>= 1
+	}
+	return cur == root
+}
+
+// ProofSize returns the wire size in bytes of a proof for a tree of the given
+// depth.
+func ProofSize(depth int) int { return depth * hashx.Size }

@@ -1,0 +1,36 @@
+package merkle
+
+import (
+	"testing"
+)
+
+func BenchmarkBuild16(b *testing.B) {
+	bs := blocks(16, 40, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	bs := blocks(16, 40, 2)
+	tree, err := Build(bs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, err := tree.Proof(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tree.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(root, bs[5], 5, proof) {
+			b.Fatal("verify failed")
+		}
+	}
+}

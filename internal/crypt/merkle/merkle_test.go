@@ -1,0 +1,145 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrseluge/internal/crypt/hashx"
+)
+
+func blocks(n, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestBuildRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 9} {
+		if _, err := Build(blocks(n, 8, 1)); err == nil {
+			t.Errorf("Build accepted %d leaves", n)
+		}
+	}
+}
+
+func TestAllProofsVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		bs := blocks(n, 16, int64(n))
+		tree, err := Build(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDepth := 0
+		for 1<<wantDepth < n {
+			wantDepth++
+		}
+		if tree.Depth() != wantDepth || tree.NumLeaves() != n {
+			t.Fatalf("n=%d: depth=%d leaves=%d", n, tree.Depth(), tree.NumLeaves())
+		}
+		for i := 0; i < n; i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(proof) != wantDepth {
+				t.Fatalf("proof length %d, want %d", len(proof), wantDepth)
+			}
+			if !Verify(tree.Root(), bs[i], i, proof) {
+				t.Fatalf("n=%d leaf %d failed to verify", n, i)
+			}
+		}
+	}
+}
+
+func TestTamperedBlockFails(t *testing.T) {
+	bs := blocks(8, 16, 2)
+	tree, _ := Build(bs)
+	proof, _ := tree.Proof(3)
+	bad := append([]byte(nil), bs[3]...)
+	bad[0] ^= 1
+	if Verify(tree.Root(), bad, 3, proof) {
+		t.Fatal("tampered block verified")
+	}
+}
+
+func TestWrongIndexFails(t *testing.T) {
+	bs := blocks(8, 16, 3)
+	tree, _ := Build(bs)
+	proof, _ := tree.Proof(3)
+	if Verify(tree.Root(), bs[3], 4, proof) {
+		t.Fatal("valid block verified at the wrong index")
+	}
+}
+
+func TestTamperedProofFails(t *testing.T) {
+	bs := blocks(8, 16, 4)
+	tree, _ := Build(bs)
+	proof, _ := tree.Proof(0)
+	proof[1] = hashx.Sum([]byte("evil"))
+	if Verify(tree.Root(), bs[0], 0, proof) {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+func TestWrongRootFails(t *testing.T) {
+	bs := blocks(4, 16, 5)
+	tree, _ := Build(bs)
+	proof, _ := tree.Proof(0)
+	if Verify(hashx.Sum([]byte("other")), bs[0], 0, proof) {
+		t.Fatal("wrong root verified")
+	}
+}
+
+func TestVerifyIndexOutOfRange(t *testing.T) {
+	bs := blocks(4, 16, 6)
+	tree, _ := Build(bs)
+	proof, _ := tree.Proof(0)
+	if Verify(tree.Root(), bs[0], -1, proof) || Verify(tree.Root(), bs[0], 4, proof) {
+		t.Fatal("out-of-range index verified")
+	}
+}
+
+func TestProofIndexOutOfRange(t *testing.T) {
+	tree, _ := Build(blocks(4, 8, 7))
+	if _, err := tree.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tree.Proof(4); err == nil {
+		t.Fatal("too-large index accepted")
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	bs := blocks(1, 8, 8)
+	tree, err := Build(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _ := tree.Proof(0)
+	if len(proof) != 0 {
+		t.Fatal("single-leaf proof should be empty")
+	}
+	if !Verify(tree.Root(), bs[0], 0, proof) {
+		t.Fatal("single-leaf verify failed")
+	}
+	if tree.Root() != hashx.Sum(bs[0]) {
+		t.Fatal("single-leaf root should be the leaf hash")
+	}
+}
+
+func TestProofSize(t *testing.T) {
+	if ProofSize(3) != 3*hashx.Size {
+		t.Fatal("ProofSize wrong")
+	}
+}
+
+func TestDifferentTreesDifferentRoots(t *testing.T) {
+	a, _ := Build(blocks(4, 8, 9))
+	b, _ := Build(blocks(4, 8, 10))
+	if a.Root() == b.Root() {
+		t.Fatal("different leaf sets produced the same root")
+	}
+}

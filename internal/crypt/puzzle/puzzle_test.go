@@ -1,0 +1,125 @@
+package puzzle
+
+import (
+	"testing"
+)
+
+func TestChainKeysVerify(t *testing.T) {
+	chain, err := NewChain([]byte("seed"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := chain.Commitment()
+	for v := 1; v <= 5; v++ {
+		key, err := chain.Key(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyKey(commit, key, v) {
+			t.Fatalf("chain key for version %d failed verification", v)
+		}
+	}
+}
+
+func TestChainKeyWrongVersionFails(t *testing.T) {
+	chain, _ := NewChain([]byte("seed"), 5)
+	commit := chain.Commitment()
+	k2, _ := chain.Key(2)
+	if VerifyKey(commit, k2, 1) || VerifyKey(commit, k2, 3) {
+		t.Fatal("key verified under the wrong version")
+	}
+	if VerifyKey(commit, k2, 0) || VerifyKey(commit, k2, -1) {
+		t.Fatal("nonpositive version accepted")
+	}
+}
+
+func TestChainForgedKeyFails(t *testing.T) {
+	chain, _ := NewChain([]byte("seed"), 3)
+	var forged Key
+	forged[0] = 0xde
+	if VerifyKey(chain.Commitment(), forged, 1) {
+		t.Fatal("forged key verified")
+	}
+}
+
+func TestChainRangeErrors(t *testing.T) {
+	chain, _ := NewChain([]byte("seed"), 3)
+	if _, err := chain.Key(0); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	if _, err := chain.Key(4); err == nil {
+		t.Fatal("version beyond chain accepted")
+	}
+	if _, err := NewChain([]byte("s"), 0); err == nil {
+		t.Fatal("zero-length chain accepted")
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	a, _ := NewChain([]byte("same"), 4)
+	b, _ := NewChain([]byte("same"), 4)
+	if a.Commitment() != b.Commitment() {
+		t.Fatal("same seed gave different chains")
+	}
+	c, _ := NewChain([]byte("other"), 4)
+	if a.Commitment() == c.Commitment() {
+		t.Fatal("different seeds gave same chain")
+	}
+}
+
+func TestSolveVerify(t *testing.T) {
+	params := Params{Strength: 10}
+	chain, _ := NewChain([]byte("s"), 1)
+	key, _ := chain.Key(1)
+	msg := []byte("signature packet bytes")
+	sol, err := Solve(params, msg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(params, msg, key, sol) {
+		t.Fatal("solution rejected")
+	}
+}
+
+func TestVerifyRejectsWrongInputs(t *testing.T) {
+	params := Params{Strength: 12}
+	chain, _ := NewChain([]byte("s"), 1)
+	key, _ := chain.Key(1)
+	msg := []byte("m")
+	sol, _ := Solve(params, msg, key)
+
+	if Verify(params, []byte("other"), key, sol) {
+		t.Fatal("solution verified for a different message")
+	}
+	var otherKey Key
+	otherKey[3] = 7
+	if Verify(params, msg, otherKey, sol) {
+		t.Fatal("solution verified under a different key")
+	}
+	// A random wrong solution should almost surely fail at strength 12.
+	if Verify(params, msg, key, sol+1) && Verify(params, msg, key, sol+2) && Verify(params, msg, key, sol+3) {
+		t.Fatal("multiple wrong solutions verified; puzzle is vacuous")
+	}
+}
+
+func TestZeroStrengthAlwaysVerifies(t *testing.T) {
+	params := Params{Strength: 0}
+	var key Key
+	if !Verify(params, []byte("m"), key, 12345) {
+		t.Fatal("strength-0 puzzle rejected a solution")
+	}
+}
+
+func TestHigherStrengthHarder(t *testing.T) {
+	chain, _ := NewChain([]byte("s"), 1)
+	key, _ := chain.Key(1)
+	msg := []byte("m")
+	solLow, _ := Solve(Params{Strength: 4}, msg, key)
+	solHigh, _ := Solve(Params{Strength: 14}, msg, key)
+	// A strength-14 solution also satisfies strength 4, not vice versa in
+	// general.
+	if !Verify(Params{Strength: 4}, msg, key, solHigh) {
+		t.Fatal("stronger solution rejected at lower strength")
+	}
+	_ = solLow
+}

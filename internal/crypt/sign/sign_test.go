@@ -1,0 +1,116 @@
+package sign
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp, err := Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("merkle root bytes")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != SignatureSize {
+		t.Fatalf("signature size %d, want %d", len(sig), SignatureSize)
+	}
+	if !kp.Public().Verify(msg, sig) {
+		t.Fatal("genuine signature rejected")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	kp, _ := Generate(nil)
+	sig, _ := kp.Sign([]byte("a"))
+	if kp.Public().Verify([]byte("b"), sig) {
+		t.Fatal("signature for different message accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	kp1, _ := Generate(nil)
+	kp2, _ := Generate(nil)
+	msg := []byte("m")
+	sig, _ := kp1.Sign(msg)
+	if kp2.Public().Verify(msg, sig) {
+		t.Fatal("signature verified under the wrong key")
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	kp, _ := Generate(nil)
+	msg := []byte("m")
+	sig, _ := kp.Sign(msg)
+	pub := kp.Public()
+
+	if pub.Verify(msg, sig[:len(sig)-1]) {
+		t.Fatal("truncated signature accepted")
+	}
+	tampered := append([]byte(nil), sig...)
+	tampered[5] ^= 1
+	if pub.Verify(msg, tampered) {
+		t.Fatal("tampered signature accepted")
+	}
+	zeroLen := append([]byte(nil), sig...)
+	zeroLen[0] = 0
+	if pub.Verify(msg, zeroLen) {
+		t.Fatal("zero-length inner signature accepted")
+	}
+	overLen := append([]byte(nil), sig...)
+	overLen[0] = SignatureSize
+	if pub.Verify(msg, overLen) {
+		t.Fatal("overlong inner signature accepted")
+	}
+}
+
+func TestZeroPublicKeyRejects(t *testing.T) {
+	var pk PublicKey
+	if pk.Valid() {
+		t.Fatal("zero key reported valid")
+	}
+	if pk.Verify([]byte("m"), make([]byte, SignatureSize)) {
+		t.Fatal("zero key verified something")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateDeterministic(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDeterministic(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("determinism")
+	sig, _ := a.Sign(msg)
+	if !b.Public().Verify(msg, sig) {
+		t.Fatal("same seed did not reproduce the same key pair")
+	}
+	c, _ := GenerateDeterministic(43)
+	if c.Public().Verify(msg, sig) {
+		t.Fatal("different seed verified the signature")
+	}
+}
+
+func TestSignaturesPadDeterministically(t *testing.T) {
+	kp, _ := Generate(nil)
+	for i := 0; i < 20; i++ {
+		sig, err := kp.Sign([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sig) != SignatureSize {
+			t.Fatalf("iteration %d: size %d", i, len(sig))
+		}
+		inner := int(sig[0])
+		// Padding beyond the inner signature must be zero.
+		if !bytes.Equal(sig[1+inner:], make([]byte, SignatureSize-1-inner)) {
+			t.Fatal("padding not zeroed")
+		}
+	}
+}

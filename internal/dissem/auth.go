@@ -1,0 +1,52 @@
+package dissem
+
+import (
+	"lrseluge/internal/crypt/puzzle"
+	"lrseluge/internal/crypt/sign"
+	"lrseluge/internal/metrics"
+	"lrseluge/internal/packet"
+)
+
+// SigContext bundles the security material preloaded on every node (paper
+// §IV-B): the base station's public key, the puzzle key-chain commitment and
+// the puzzle difficulty. Seluge and LR-Seluge handlers share it to vet
+// signature packets in two stages: a one-hash weak-authenticator check, then
+// the expensive signature verification.
+type SigContext struct {
+	Pub        sign.PublicKey
+	Commitment puzzle.Key
+	Puzzle     puzzle.Params
+	Col        *metrics.Collector
+}
+
+// WeakCheck performs the cheap filter: the puzzle key must belong to the
+// advertised code version of the key chain, and the puzzle solution must be
+// valid for this exact signature packet. Forged signature packets fail here
+// unless the adversary spends a brute-force search per packet (paper
+// §IV-C.3), which is what makes signature-flooding DoS unattractive.
+func (c *SigContext) WeakCheck(s *packet.Sig) bool {
+	if !puzzle.VerifyKey(c.Commitment, s.PuzzleKey, int(s.Version)) {
+		c.reject()
+		return false
+	}
+	if !puzzle.Verify(c.Puzzle, s.PuzzleMessage(), s.PuzzleKey, s.PuzzleSol) {
+		c.reject()
+		return false
+	}
+	return true
+}
+
+// FullVerify performs the expensive ECDSA verification over the bound
+// (version, pages, root) message and accounts it.
+func (c *SigContext) FullVerify(s *packet.Sig) bool {
+	if c.Col != nil {
+		c.Col.RecordSigVerification()
+	}
+	return c.Pub.Verify(s.SignedMessage(), s.Signature)
+}
+
+func (c *SigContext) reject() {
+	if c.Col != nil {
+		c.Col.RecordPuzzleReject()
+	}
+}

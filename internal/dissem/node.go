@@ -1,0 +1,554 @@
+package dissem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lrseluge/internal/metrics"
+	"lrseluge/internal/packet"
+	"lrseluge/internal/radio"
+	"lrseluge/internal/sim"
+	"lrseluge/internal/trickle"
+)
+
+// Node is the shared dissemination state machine. It wires an ObjectHandler
+// (protocol-specific object state) and a TxPolicy (transmission scheduling)
+// to the radio, Trickle advertisements, SNACK requests with suppression,
+// retry timers, and the optional denial-of-receipt defense.
+type Node struct {
+	id      packet.NodeID
+	nw      *radio.Network
+	eng     *sim.Engine
+	rng     *rand.Rand
+	cfg     Config
+	handler ObjectHandler
+	policy  TxPolicy
+	trk     *trickle.Trickle
+	col     *metrics.Collector
+
+	// servers maps neighbor -> advertised complete-unit count.
+	servers map[packet.NodeID]int
+	// lastAdvertiser is the most recent neighbor whose advertisement
+	// offered units we lack; Deluge directs requests at that node, which
+	// concentrates serving (Trickle suppression means mostly one node
+	// advertises per neighborhood interval).
+	lastAdvertiser packet.NodeID
+	hasAdvertiser  bool
+
+	requesting   bool
+	snackTimer   *sim.Timer
+	retryTimer   *sim.Timer
+	suppressions int
+	retries      int
+
+	txActive bool
+	txTimer  *sim.Timer
+
+	sigPending bool
+
+	// Denial-of-receipt defense state: data packets requested per
+	// (neighbor, unit) and neighbors being ignored.
+	served  map[servedKey]int
+	ignored map[servedKey]bool
+
+	markForged func(packet.NodeID) bool
+	onComplete func(packet.NodeID, sim.Time)
+	completed  bool
+
+	// Version-upgrade support (see upgrade.go).
+	upgrader        Upgrader
+	lastSigAnnounce sim.Time
+}
+
+type servedKey struct {
+	from packet.NodeID
+	unit int
+}
+
+// maxRetriesBeforeMaintain bounds consecutive unanswered SNACKs before the
+// node falls back to MAINTAIN and waits for fresh advertisements.
+const maxRetriesBeforeMaintain = 10
+
+// NewNode builds a dissemination node and attaches it to the network at the
+// given id. Call Start to begin operation.
+func NewNode(id packet.NodeID, nw *radio.Network, cfg Config, handler ObjectHandler, policy TxPolicy, seed int64) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nw == nil || handler == nil || policy == nil {
+		return nil, fmt.Errorf("dissem: nil dependency")
+	}
+	n := &Node{
+		id:      id,
+		nw:      nw,
+		eng:     nw.Engine(),
+		rng:     rand.New(rand.NewSource(seed)),
+		cfg:     cfg,
+		handler: handler,
+		policy:  policy,
+		col:     nw.Collector(),
+		servers: make(map[packet.NodeID]int),
+		served:  make(map[servedKey]int),
+		ignored: make(map[servedKey]bool),
+	}
+	trk, err := trickle.New(n.eng, n.rng, cfg.Trickle, n.advertise)
+	if err != nil {
+		return nil, err
+	}
+	n.trk = trk
+	if err := nw.Attach(id, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() packet.NodeID { return n.id }
+
+// Handler exposes the protocol-specific object state (for experiments to
+// inspect final images).
+func (n *Node) Handler() ObjectHandler { return n.handler }
+
+// Completed reports whether this node holds the full object.
+func (n *Node) Completed() bool { return n.completed }
+
+// SetOnComplete registers a callback invoked once when the node completes.
+func (n *Node) SetOnComplete(fn func(packet.NodeID, sim.Time)) { n.onComplete = fn }
+
+// SetForgedSource registers a predicate identifying adversarial senders so
+// the collector can count any forged packet that authentication fails to
+// reject. Used only by adversarial experiments.
+func (n *Node) SetForgedSource(fn func(packet.NodeID) bool) { n.markForged = fn }
+
+// Start begins protocol operation: Trickle advertisements and, if the node
+// is preloaded (base station), completion bookkeeping.
+func (n *Node) Start() {
+	n.trk.Start()
+	n.checkComplete()
+}
+
+// Stop halts all timers.
+func (n *Node) Stop() {
+	n.trk.Stop()
+	n.snackTimer.Stop()
+	n.retryTimer.Stop()
+	n.txTimer.Stop()
+}
+
+// advertise is the Trickle transmit callback (MAINTAIN state).
+func (n *Node) advertise() {
+	n.nw.Broadcast(n.id, &packet.Adv{
+		Src:     n.id,
+		Version: n.handler.Version(),
+		Units:   packet.Unit(n.handler.CompleteUnits()),
+		Total:   packet.Unit(n.handler.TotalUnits()),
+	})
+}
+
+// HandlePacket implements radio.Receiver.
+func (n *Node) HandlePacket(from packet.NodeID, p packet.Packet) {
+	switch pkt := p.(type) {
+	case *packet.Adv:
+		n.handleAdv(from, pkt)
+	case *packet.SNACK:
+		n.handleSNACK(from, pkt)
+	case *packet.Data:
+		n.handleData(from, pkt)
+	case *packet.Sig:
+		n.handleSig(from, pkt)
+	}
+}
+
+func (n *Node) handleAdv(from packet.NodeID, a *packet.Adv) {
+	switch {
+	case a.Version < n.handler.Version():
+		// A stale neighbor: announce our signature packet so it can
+		// authenticate the newer version and upgrade (rate-limited).
+		n.trk.HearInconsistent()
+		n.announceSig()
+		return
+	case a.Version > n.handler.Version():
+		// A newer version exists; we upgrade only once its signature
+		// packet arrives and verifies (see upgrade.go).
+		n.trk.HearInconsistent()
+		return
+	}
+	if a.Total > 0 {
+		n.handler.LearnTotal(int(a.Total))
+		n.checkComplete()
+	}
+	mine := n.handler.CompleteUnits()
+	theirs := int(a.Units)
+	switch {
+	case theirs == mine:
+		n.trk.HearConsistent()
+	default:
+		n.trk.HearInconsistent()
+	}
+	if theirs > mine {
+		n.servers[from] = theirs
+		// Stick with the current server while it remains useful; hopping
+		// between advertisers scatters requests and duplicates serving.
+		if !n.hasAdvertiser || n.servers[n.lastAdvertiser] <= mine {
+			n.lastAdvertiser = from
+			n.hasAdvertiser = true
+		}
+		n.maybeStartRequest()
+	} else {
+		delete(n.servers, from)
+		if n.hasAdvertiser && n.lastAdvertiser == from {
+			n.hasAdvertiser = false
+		}
+	}
+}
+
+func (n *Node) handleSNACK(from packet.NodeID, s *packet.SNACK) {
+	if s.Version != n.handler.Version() {
+		return
+	}
+	unit := int(s.Unit)
+	if s.Dest != n.id {
+		// Overheard request from another node: Deluge-style suppression.
+		// A request for our unit (or an earlier one) means data we can
+		// overhear is about to flow, so push our own SNACK back.
+		if n.requesting && unit <= n.handler.CompleteUnits() && n.suppressions < n.cfg.MaxSuppressions {
+			if n.snackTimer != nil && n.snackTimer.Stop() {
+				n.suppressions++
+				n.scheduleSNACK(n.backoff())
+			}
+		}
+		return
+	}
+	// Addressed to us: serve if we can.
+	if unit >= n.handler.CompleteUnits() {
+		return // we do not possess that unit (stale advertisement)
+	}
+	key := servedKey{from: from, unit: unit}
+	if n.ignored[key] {
+		return
+	}
+	if n.cfg.SNACKServeLimit > 0 {
+		n.served[key] += s.Bits.Count()
+		if n.served[key] > n.cfg.SNACKServeLimit {
+			// Denial-of-receipt defense (paper §IV-E): this neighbor has
+			// requested implausibly many packets of one unit; ignore it.
+			n.ignored[key] = true
+			n.policy.DropRequester(from)
+			return
+		}
+	}
+	n.policy.OnSNACK(from, unit, s.Bits)
+	n.startTx()
+}
+
+func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
+	if d.Version != n.handler.Version() {
+		return
+	}
+	unit := int(d.Unit)
+	next := n.handler.CompleteUnits()
+	switch {
+	case n.completed || unit < next:
+		// Data for a unit we already hold. Verify it BEFORE letting it
+		// influence behavior: a forged packet must not suppress our
+		// transmissions or postpone our requests.
+		if !n.handler.Authentic(d) {
+			n.col.RecordAuthDrop()
+			return
+		}
+		// Another node is serving this unit: drop any queued duplicate
+		// of ours (data suppression), note consistent network activity
+		// (advertisement suppression), and hold a pending SNACK back —
+		// the neighborhood is still working on lower pages, and joining
+		// the next round later lets the scheduler aggregate requests.
+		n.policy.OnDataOverheard(unit, int(d.Index))
+		n.postponePendingSNACK()
+		n.trk.HearConsistent()
+	case unit > next:
+		// Page-by-page rule: we cannot authenticate packets beyond the
+		// next unit (their hash images are not yet known), so they are
+		// dropped with no effect (paper §IV-E).
+	default: // unit == next
+		res := n.handler.Ingest(d)
+		switch res {
+		case Rejected:
+			n.col.RecordAuthDrop()
+		case Duplicate:
+			n.policy.OnDataOverheard(unit, int(d.Index))
+			n.postponePendingSNACK()
+			n.progress()
+		case Stored:
+			n.policy.OnDataOverheard(unit, int(d.Index))
+			n.postponePendingSNACK()
+			n.noteForged(from, res)
+			n.progress()
+		case UnitComplete:
+			n.noteForged(from, res)
+			n.unitComplete()
+		}
+	}
+}
+
+// postponePendingSNACK pushes back a not-yet-sent SNACK while authenticated
+// data is in the air (Deluge request suppression).
+func (n *Node) postponePendingSNACK() {
+	if n.requesting && n.snackTimer != nil && n.snackTimer.Stop() {
+		n.scheduleSNACK(n.backoff())
+	}
+}
+
+func (n *Node) handleSig(from packet.NodeID, s *packet.Sig) {
+	if s.Version > n.handler.Version() {
+		n.handleNewerSig(s)
+		return
+	}
+	if s.Version != n.handler.Version() {
+		return
+	}
+	if !n.handler.WantsSig() || n.sigPending {
+		return
+	}
+	if !n.handler.PreVerifySig(s) {
+		// Weak authenticator (puzzle) rejected the packet: one cheap hash,
+		// no signature verification charged.
+		return
+	}
+	// Charge the expensive verification as virtual time (1.12 s ECDSA on a
+	// Tmote Sky, paper §III-A).
+	n.sigPending = true
+	n.eng.Schedule(n.cfg.SigVerifyDelay, func() {
+		n.sigPending = false
+		res := n.handler.IngestSig(s)
+		switch res {
+		case Rejected:
+			n.col.RecordAuthDrop()
+		case UnitComplete:
+			n.noteForged(from, res)
+			n.unitComplete()
+		}
+	})
+}
+
+func (n *Node) noteForged(from packet.NodeID, res IngestResult) {
+	if n.markForged != nil && n.markForged(from) && (res == Stored || res == UnitComplete) {
+		n.col.RecordForgedAccepted()
+	}
+}
+
+// maybeStartRequest enters RX if a neighbor has units we lack.
+func (n *Node) maybeStartRequest() {
+	if n.completed || n.requesting {
+		return
+	}
+	if !n.haveServer() {
+		return
+	}
+	n.requesting = true
+	n.suppressions = 0
+	n.retries = 0
+	n.scheduleSNACK(n.backoff())
+}
+
+func (n *Node) haveServer() bool {
+	mine := n.handler.CompleteUnits()
+	for _, units := range n.servers {
+		if units > mine {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) backoff() sim.Time {
+	span := int64(n.cfg.RxBackoffMax - n.cfg.RxBackoffMin)
+	if span <= 0 {
+		return n.cfg.RxBackoffMin
+	}
+	return n.cfg.RxBackoffMin + sim.Time(n.rng.Int63n(span+1))
+}
+
+func (n *Node) scheduleSNACK(d sim.Time) {
+	n.snackTimer.Stop()
+	n.snackTimer = n.eng.Schedule(d, n.sendSNACK)
+}
+
+func (n *Node) sendSNACK() {
+	if n.completed || !n.requesting {
+		return
+	}
+	mine := n.handler.CompleteUnits()
+	// Pick a server that advertises more units than we have, uniformly at
+	// random for load spreading.
+	candidates := make([]packet.NodeID, 0, len(n.servers))
+	for id, units := range n.servers {
+		if units > mine {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		n.requesting = false
+		return
+	}
+	// Prefer the advertiser we heard most recently (Deluge requests "from
+	// that neighbor"); otherwise pick uniformly among candidates.
+	server := packet.NodeID(0)
+	if n.hasAdvertiser && n.servers[n.lastAdvertiser] > mine {
+		server = n.lastAdvertiser
+	} else {
+		sorted := sortIDs(candidates)
+		server = sorted[n.rng.Intn(len(sorted))]
+	}
+
+	unit := mine
+	npkts := n.handler.PacketsInUnit(unit)
+	bits := packet.NewBitVector(npkts)
+	for idx := 0; idx < npkts; idx++ {
+		if !n.handler.HasPacket(unit, idx) {
+			bits.Set(idx, true)
+		}
+	}
+	if !bits.Any() {
+		// Shouldn't happen: a unit with nothing missing would be complete.
+		return
+	}
+	n.nw.Broadcast(n.id, &packet.SNACK{
+		Src:     n.id,
+		Dest:    server,
+		Version: n.handler.Version(),
+		Unit:    packet.Unit(unit),
+		Bits:    bits,
+	})
+	n.armRetry()
+}
+
+func (n *Node) armRetry() {
+	n.retryTimer.Stop()
+	// Exponential backoff on consecutive unanswered retries keeps SNACK
+	// storms bounded when losses are heavy (a lost SNACK costs a timeout,
+	// not a flood).
+	timeout := n.cfg.RxRetryTimeout
+	for i := 0; i < n.retries && i < 2; i++ {
+		timeout *= 2
+	}
+	n.retryTimer = n.eng.Schedule(timeout, func() {
+		if n.completed || !n.requesting {
+			return
+		}
+		n.retries++
+		if n.retries > maxRetriesBeforeMaintain {
+			// Give up; wait for fresh advertisements (MAINTAIN).
+			n.requesting = false
+			n.servers = make(map[packet.NodeID]int)
+			n.trk.Reset()
+			return
+		}
+		n.scheduleSNACK(n.backoff())
+	})
+}
+
+// progress notes that the current unit advanced (a useful packet arrived),
+// resetting the retry counter.
+func (n *Node) progress() {
+	n.retries = 0
+	n.armRetry()
+}
+
+func (n *Node) unitComplete() {
+	n.retries = 0
+	n.suppressions = 0
+	n.retryTimer.Stop()
+	n.trk.Reset() // our state changed; advertise promptly
+	n.checkComplete()
+	if n.completed {
+		n.requesting = false
+		return
+	}
+	if n.haveServer() {
+		n.requesting = true
+		n.scheduleSNACK(n.backoff())
+	} else {
+		n.requesting = false
+	}
+}
+
+func (n *Node) checkComplete() {
+	if n.completed {
+		return
+	}
+	total := n.handler.TotalUnits()
+	if total > 0 && n.handler.CompleteUnits() >= total {
+		n.completed = true
+		n.requesting = false
+		n.retryTimer.Stop()
+		n.snackTimer.Stop()
+		now := n.eng.Now()
+		n.col.RecordCompletion(n.id, now)
+		if n.onComplete != nil {
+			n.onComplete(n.id, now)
+		}
+	}
+}
+
+// startTx begins the serve loop if it is not already running (TX state).
+// The first transmission of an idle server waits out an aggregation window
+// so SNACKs from several neighbors accumulate before the burst begins.
+func (n *Node) startTx() {
+	if n.txActive {
+		return
+	}
+	n.txActive = true
+	if n.cfg.TxAggregationDelay > 0 {
+		n.txTimer = n.eng.Schedule(n.cfg.TxAggregationDelay, n.txStep)
+		return
+	}
+	n.scheduleTxStep()
+}
+
+func (n *Node) scheduleTxStep() {
+	// Pace on our own transmitter: next step when the radio frees up, plus
+	// a random jitter so concurrent servers interleave and overhear each
+	// other's packets (enabling data suppression) instead of transmitting
+	// identical bursts in lockstep.
+	delay := n.cfg.TxSpacing
+	if n.cfg.TxJitterMax > 0 {
+		delay += sim.Time(n.rng.Int63n(int64(n.cfg.TxJitterMax) + 1))
+	}
+	if busy := n.nw.TxBusyUntil(n.id); busy > n.eng.Now() {
+		delay += busy - n.eng.Now()
+	}
+	n.txTimer = n.eng.Schedule(delay, n.txStep)
+}
+
+func (n *Node) txStep() {
+	if !n.policy.Pending() {
+		n.txActive = false
+		return
+	}
+	unit, idx, ok := n.policy.Next()
+	if !ok {
+		n.txActive = false
+		return
+	}
+	if sig := n.handler.SigPacket(n.id); sig != nil && unit == 0 && n.handler.PacketsInUnit(0) == 1 {
+		n.nw.Broadcast(n.id, sig)
+	} else {
+		pkts, err := n.handler.Packets(unit, []int{idx}, n.id)
+		if err != nil || len(pkts) == 0 {
+			// The unit became unservable (should not happen); drop work.
+			n.scheduleTxStep()
+			return
+		}
+		n.nw.Broadcast(n.id, pkts[0])
+	}
+	n.scheduleTxStep()
+}
+
+func sortIDs(ids []packet.NodeID) []packet.NodeID {
+	out := append([]packet.NodeID(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

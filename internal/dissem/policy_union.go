@@ -1,0 +1,97 @@
+package dissem
+
+import (
+	"lrseluge/internal/packet"
+)
+
+// UnionPolicy is the Deluge/Seluge transmission policy: "a node in Deluge
+// and Seluge simply transmits packets corresponding to the union of bit
+// vectors in SNACK packets" (paper §IV-D.3). Units are served lowest-first;
+// within a unit, packets go out in index order. Re-requests (after loss)
+// simply set the bits again.
+type UnionPolicy struct {
+	sizeOf func(unit int) int
+	units  map[int]packet.BitVector
+}
+
+var _ TxPolicy = (*UnionPolicy)(nil)
+
+// NewUnionPolicy creates a union policy; sizeOf maps a unit to its packet
+// count (for allocating bit vectors).
+func NewUnionPolicy(sizeOf func(unit int) int) *UnionPolicy {
+	return &UnionPolicy{sizeOf: sizeOf, units: make(map[int]packet.BitVector)}
+}
+
+// OnSNACK implements TxPolicy.
+func (p *UnionPolicy) OnSNACK(_ packet.NodeID, u int, bits packet.BitVector) {
+	cur, ok := p.units[u]
+	if !ok {
+		cur = packet.NewBitVector(p.sizeOf(u))
+		p.units[u] = cur
+	}
+	if cur.Len() != bits.Len() {
+		return // malformed request; ignore
+	}
+	cur.Or(bits)
+}
+
+// OnDataOverheard implements TxPolicy: another node already broadcast this
+// exact packet, so drop it from our queue (data suppression; requesters
+// that missed the overheard copy will re-request it).
+func (p *UnionPolicy) OnDataOverheard(u, idx int) {
+	bits, ok := p.units[u]
+	if !ok || idx < 0 || idx >= bits.Len() {
+		return
+	}
+	bits.Set(idx, false)
+	if !bits.Any() {
+		delete(p.units, u)
+	}
+}
+
+// Next implements TxPolicy: lowest pending unit, lowest pending index.
+func (p *UnionPolicy) Next() (int, int, bool) {
+	u, ok := p.lowestPendingUnit()
+	if !ok {
+		return 0, 0, false
+	}
+	bits := p.units[u]
+	for i := 0; i < bits.Len(); i++ {
+		if bits.Get(i) {
+			bits.Set(i, false)
+			if !bits.Any() {
+				delete(p.units, u)
+			}
+			return u, i, true
+		}
+	}
+	delete(p.units, u)
+	return 0, 0, false
+}
+
+// Pending implements TxPolicy.
+func (p *UnionPolicy) Pending() bool {
+	_, ok := p.lowestPendingUnit()
+	return ok
+}
+
+// DropRequester implements TxPolicy. The union policy does not track
+// per-requester state, so this is a no-op; the engine-level defense stops
+// feeding new SNACKs from the offender instead.
+func (p *UnionPolicy) DropRequester(packet.NodeID) {}
+
+// Reset implements TxPolicy.
+func (p *UnionPolicy) Reset() { p.units = make(map[int]packet.BitVector) }
+
+func (p *UnionPolicy) lowestPendingUnit() (int, bool) {
+	best, found := 0, false
+	for u, bits := range p.units {
+		if !bits.Any() {
+			continue
+		}
+		if !found || u < best {
+			best, found = u, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,103 @@
+package dissem
+
+import (
+	"testing"
+
+	"lrseluge/internal/packet"
+)
+
+func bitsOf(n int, set ...int) packet.BitVector {
+	v := packet.NewBitVector(n)
+	for _, i := range set {
+		v.Set(i, true)
+	}
+	return v
+}
+
+func drain(p TxPolicy) [][2]int {
+	var out [][2]int
+	for {
+		u, idx, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, [2]int{u, idx})
+	}
+}
+
+func TestUnionMergesRequests(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 8 })
+	p.OnSNACK(1, 0, bitsOf(8, 0, 2))
+	p.OnSNACK(2, 0, bitsOf(8, 2, 5))
+	got := drain(p)
+	want := [][2]int{{0, 0}, {0, 2}, {0, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("sent %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sent %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionServesLowestUnitFirst(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 4 })
+	p.OnSNACK(1, 3, bitsOf(4, 0))
+	p.OnSNACK(2, 1, bitsOf(4, 1))
+	got := drain(p)
+	if len(got) != 2 || got[0] != [2]int{1, 1} || got[1] != [2]int{3, 0} {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+func TestUnionPendingAndReset(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 4 })
+	if p.Pending() {
+		t.Fatal("fresh policy pending")
+	}
+	p.OnSNACK(1, 0, bitsOf(4, 3))
+	if !p.Pending() {
+		t.Fatal("not pending after SNACK")
+	}
+	p.Reset()
+	if p.Pending() {
+		t.Fatal("pending after Reset")
+	}
+}
+
+func TestUnionIgnoresMalformedLength(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 4 })
+	p.OnSNACK(1, 0, bitsOf(4, 1))
+	p.OnSNACK(2, 0, bitsOf(8, 5)) // wrong length: ignored
+	got := drain(p)
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Fatalf("malformed request not ignored: %v", got)
+	}
+}
+
+func TestUnionDataOverheardSuppressesIndex(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 4 })
+	p.OnSNACK(1, 0, bitsOf(4, 1, 2))
+	p.OnDataOverheard(0, 1)
+	got := drain(p)
+	if len(got) != 1 || got[0] != [2]int{0, 2} {
+		t.Fatalf("suppression wrong: %v", got)
+	}
+	// Overhearing for an unqueued unit must be harmless.
+	p.OnDataOverheard(7, 0)
+	p.OnDataOverheard(0, 9)
+}
+
+func TestUnionReRequestAfterLoss(t *testing.T) {
+	p := NewUnionPolicy(func(int) int { return 4 })
+	p.OnSNACK(1, 0, bitsOf(4, 0))
+	if got := drain(p); len(got) != 1 {
+		t.Fatalf("first round: %v", got)
+	}
+	// The receiver lost it and asks again: must be served again.
+	p.OnSNACK(1, 0, bitsOf(4, 0))
+	if got := drain(p); len(got) != 1 {
+		t.Fatalf("re-request not served: %v", got)
+	}
+}

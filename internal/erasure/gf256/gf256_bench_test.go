@@ -1,0 +1,30 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMulSlice(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 72)
+	dst := make([]byte, 72)
+	rng.Read(src)
+	b.SetBytes(72)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(byte(i)|1, src, dst)
+	}
+}
+
+func BenchmarkInvert32(b *testing.B) {
+	m := Cauchy(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

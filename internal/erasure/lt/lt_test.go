@@ -1,0 +1,208 @@
+package lt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sourceBlocks(k, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(nil, DefaultParams()); err == nil {
+		t.Fatal("empty block set accepted")
+	}
+	if _, err := NewEncoder([][]byte{{}}, DefaultParams()); err == nil {
+		t.Fatal("empty blocks accepted")
+	}
+	if _, err := NewEncoder([][]byte{{1}, {1, 2}}, DefaultParams()); err == nil {
+		t.Fatal("unequal blocks accepted")
+	}
+}
+
+func TestSymbolDeterministicAcrossEncoders(t *testing.T) {
+	blocks := sourceBlocks(16, 24, 1)
+	a, err := NewEncoder(blocks, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEncoder(blocks, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		sa, sb := a.Symbol(seed), b.Symbol(seed)
+		if !bytes.Equal(sa.Data, sb.Data) {
+			t.Fatalf("seed %d: encoders disagree", seed)
+		}
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 4, 16, 64} {
+		blocks := sourceBlocks(k, 32, int64(k))
+		enc, err := NewEncoder(blocks, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(k, 32, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var used int
+		for seed := int64(0); !dec.Complete(); seed++ {
+			if seed > int64(20*k+100) {
+				t.Fatalf("k=%d: decoder needed more than %d symbols", k, seed)
+			}
+			sym := enc.Symbol(seed)
+			if _, err := dec.Add(sym); err != nil {
+				t.Fatal(err)
+			}
+			used++
+		}
+		got, err := dec.Blocks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range blocks {
+			if !bytes.Equal(got[i], blocks[i]) {
+				t.Fatalf("k=%d: block %d mismatch", k, i)
+			}
+		}
+	}
+}
+
+func TestDecodeBySeedOnly(t *testing.T) {
+	k := 24
+	blocks := sourceBlocks(k, 20, 9)
+	enc, _ := NewEncoder(blocks, DefaultParams())
+	dec, _ := NewDecoder(k, 20, DefaultParams())
+	for seed := int64(0); !dec.Complete() && seed < 2000; seed++ {
+		sym := enc.Symbol(seed)
+		// Wire format: seed + payload only; the decoder regenerates the
+		// neighbor set.
+		if _, err := dec.AddSeed(sym.Seed, sym.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Complete() {
+		t.Fatalf("decode incomplete: %d/%d", dec.Decoded(), k)
+	}
+	got, _ := dec.Blocks()
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeUnderLoss(t *testing.T) {
+	k := 32
+	blocks := sourceBlocks(k, 16, 11)
+	enc, _ := NewEncoder(blocks, DefaultParams())
+	dec, _ := NewDecoder(k, 16, DefaultParams())
+	rng := rand.New(rand.NewSource(12))
+	for seed := int64(0); !dec.Complete() && seed < 5000; seed++ {
+		if rng.Float64() < 0.4 {
+			continue // lost symbol: rateless codes just use the next one
+		}
+		if _, err := dec.AddSeed(seed, enc.Symbol(seed).Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Complete() {
+		t.Fatal("decode incomplete under loss")
+	}
+}
+
+func TestOverheadIsModest(t *testing.T) {
+	// Robust soliton overhead should be well under 2x for moderate k.
+	k := 64
+	blocks := sourceBlocks(k, 8, 13)
+	enc, _ := NewEncoder(blocks, DefaultParams())
+	totalSymbols := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		dec, _ := NewDecoder(k, 8, DefaultParams())
+		count := 0
+		for seed := int64(trial * 100000); !dec.Complete(); seed++ {
+			if _, err := dec.AddSeed(seed, enc.Symbol(seed).Data); err != nil {
+				t.Fatal(err)
+			}
+			count++
+			if count > 5*k {
+				t.Fatalf("trial %d: runaway symbol count", trial)
+			}
+		}
+		totalSymbols += count
+	}
+	avg := float64(totalSymbols) / trials
+	if avg > 2*float64(k) {
+		t.Fatalf("average overhead too high: %.1f symbols for k=%d", avg, k)
+	}
+}
+
+func TestDuplicateSymbolsIgnored(t *testing.T) {
+	k := 8
+	blocks := sourceBlocks(k, 8, 14)
+	enc, _ := NewEncoder(blocks, DefaultParams())
+	dec, _ := NewDecoder(k, 8, DefaultParams())
+	before := dec.Decoded()
+	for i := 0; i < 10; i++ {
+		if _, err := dec.AddSeed(42, enc.Symbol(42).Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.Decoded() > before+1 {
+		// A single degree-1 symbol can decode one block; duplicates must
+		// not decode more.
+		t.Fatal("duplicates advanced decoding repeatedly")
+	}
+}
+
+func TestDecoderRejectsWrongSize(t *testing.T) {
+	dec, _ := NewDecoder(4, 8, DefaultParams())
+	if _, err := dec.AddSeed(1, make([]byte, 9)); err == nil {
+		t.Fatal("wrong symbol size accepted")
+	}
+	if _, err := dec.Blocks(); err == nil {
+		t.Fatal("incomplete Blocks() accepted")
+	}
+}
+
+func TestRobustSolitonCDF(t *testing.T) {
+	for _, k := range []int{1, 2, 10, 100} {
+		cdf := robustSolitonCDF(k, DefaultParams())
+		if len(cdf) != k+1 {
+			t.Fatalf("k=%d: cdf length %d", k, len(cdf))
+		}
+		prev := 0.0
+		for d := 1; d <= k; d++ {
+			if cdf[d] < prev-1e-12 {
+				t.Fatalf("k=%d: cdf not monotone at %d", k, d)
+			}
+			prev = cdf[d]
+		}
+		if math.Abs(cdf[k]-1) > 1e-9 {
+			t.Fatalf("k=%d: cdf does not reach 1: %f", k, cdf[k])
+		}
+	}
+}
+
+func TestDegreeOneMassPresent(t *testing.T) {
+	// The distribution must produce degree-1 symbols or peeling never
+	// starts.
+	cdf := robustSolitonCDF(64, DefaultParams())
+	if cdf[1] <= 0 {
+		t.Fatal("no degree-1 probability mass")
+	}
+}

@@ -1,0 +1,183 @@
+// Package rs implements a systematic fixed-rate Reed-Solomon erasure code
+// over GF(2^8).
+//
+// A Code with parameters (k, n) transforms k equal-length data blocks into n
+// encoded blocks such that the originals can be recovered from ANY k of the
+// n encoded blocks (k' = k, the information-theoretic optimum). The code is
+// systematic: the first k encoded blocks are the data blocks themselves.
+//
+// The generator matrix is the k x k identity stacked on an (n-k) x k Cauchy
+// matrix; every square submatrix of a Cauchy matrix is invertible, which
+// guarantees the any-k-of-n recovery property.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"lrseluge/internal/erasure/gf256"
+)
+
+// Limits on code parameters imposed by the GF(2^8) construction.
+const (
+	MaxShards = 256
+)
+
+// Common errors.
+var (
+	ErrShortData     = errors.New("rs: not enough shards to reconstruct")
+	ErrShardSize     = errors.New("rs: shards must be non-empty and equal length")
+	ErrShardCount    = errors.New("rs: wrong number of shards")
+	ErrInvalidParams = errors.New("rs: invalid code parameters")
+)
+
+// Code is a (k, n) systematic Reed-Solomon erasure code. It is safe for
+// concurrent use: all state is immutable after construction.
+type Code struct {
+	k, n int
+	// gen is the full n x k generator matrix (identity on top of Cauchy).
+	gen gf256.Matrix
+}
+
+// New constructs a (k, n) code. It requires 1 <= k <= n <= 256 and
+// n + k <= 256+k (i.e., n <= 256).
+func New(k, n int) (*Code, error) {
+	if k < 1 || n < k || n > MaxShards {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
+	}
+	gen := gf256.NewMatrix(n, k)
+	for i := 0; i < k; i++ {
+		gen.Set(i, i, 1)
+	}
+	if n > k {
+		cauchy := gf256.Cauchy(n-k, k)
+		for i := 0; i < n-k; i++ {
+			copy(gen.Row(k+i), cauchy.Row(i))
+		}
+	}
+	return &Code{k: k, n: n, gen: gen}, nil
+}
+
+// K returns the number of data blocks per codeword.
+func (c *Code) K() int { return c.k }
+
+// N returns the total number of encoded blocks per codeword.
+func (c *Code) N() int { return c.n }
+
+// KPrime returns the number of encoded blocks sufficient for recovery. For
+// Reed-Solomon this equals K.
+func (c *Code) KPrime() int { return c.k }
+
+// Encode expands k equal-length data blocks into n encoded blocks. The first
+// k outputs alias fresh copies of the inputs (systematic part); the remaining
+// n-k are parity. The inputs are not modified.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
+	}
+	size, err := checkSizes(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		out[i] = append([]byte(nil), data[i]...)
+	}
+	for i := c.k; i < c.n; i++ {
+		row := c.gen.Row(i)
+		shard := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			gf256.MulSlice(row[j], data[j], shard)
+		}
+		out[i] = shard
+	}
+	return out, nil
+}
+
+// Decode recovers the k original data blocks from a length-n slice of shards
+// in which missing shards are nil. It succeeds whenever at least k shards are
+// present. The input is not modified.
+func (c *Code) Decode(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.n {
+		return nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardCount, len(shards), c.n)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, ErrShardSize
+		}
+		if len(present) < c.k {
+			present = append(present, i)
+		}
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d of %d required shards", ErrShortData, len(present), c.k)
+	}
+	if size <= 0 {
+		return nil, ErrShardSize
+	}
+
+	// Fast path: all k systematic shards survived.
+	systematic := true
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			systematic = false
+			break
+		}
+	}
+	if systematic {
+		out := make([][]byte, c.k)
+		for i := 0; i < c.k; i++ {
+			out[i] = append([]byte(nil), shards[i]...)
+		}
+		return out, nil
+	}
+
+	sub := c.gen.SelectRows(present)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Unreachable for a Cauchy-based generator; guard anyway.
+		return nil, fmt.Errorf("rs: decode matrix inversion failed: %w", err)
+	}
+	out := make([][]byte, c.k)
+	for r := 0; r < c.k; r++ {
+		block := make([]byte, size)
+		row := inv.Row(r)
+		for j, idx := range present {
+			gf256.MulSlice(row[j], shards[idx], block)
+		}
+		out[r] = block
+	}
+	return out, nil
+}
+
+// EncodeInto is like Encode but writes parity into caller-provided storage to
+// avoid allocation in hot simulation loops. out must have length n; the first
+// k entries are overwritten with references to copies of data.
+func (c *Code) EncodeInto(data [][]byte, out [][]byte) error {
+	enc, err := c.Encode(data)
+	if err != nil {
+		return err
+	}
+	copy(out, enc)
+	return nil
+}
+
+func checkSizes(blocks [][]byte) (int, error) {
+	if len(blocks) == 0 || len(blocks[0]) == 0 {
+		return 0, ErrShardSize
+	}
+	size := len(blocks[0])
+	for _, b := range blocks[1:] {
+		if len(b) != size {
+			return 0, ErrShardSize
+		}
+	}
+	return size, nil
+}

@@ -1,0 +1,67 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCode(b *testing.B, k, n, size int) (*Code, [][]byte) {
+	b.Helper()
+	c, err := New(k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	return c, randBlocks(rng, k, size)
+}
+
+func BenchmarkEncode32_48(b *testing.B) {
+	c, data := benchCode(b, 32, 48, 72)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeWorstCase32_48(b *testing.B) {
+	// Worst case: no systematic shard survives; full matrix inversion.
+	c, data := benchCode(b, 32, 48, 72)
+	enc, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, 48)
+	for i := 32; i < 48; i++ {
+		shards[i] = enc[i]
+	}
+	for i := 0; i < 16; i++ {
+		shards[i] = enc[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSystematicFastPath(b *testing.B) {
+	c, data := benchCode(b, 32, 48, 72)
+	enc, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([][]byte, 48)
+	copy(shards, enc[:32])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

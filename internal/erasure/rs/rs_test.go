@@ -1,0 +1,218 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlocks(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, n int
+		ok   bool
+	}{
+		{1, 1, true},
+		{32, 48, true},
+		{1, 256, true},
+		{0, 4, false},
+		{-1, 4, false},
+		{5, 4, false},
+		{4, 257, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.k, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d, %d): err=%v, want ok=%v", c.k, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestSystematicEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 4, 32)
+	enc, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 8 {
+		t.Fatalf("got %d shards, want 8", len(enc))
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(enc[i], data[i]) {
+			t.Fatalf("systematic shard %d differs from data", i)
+		}
+	}
+}
+
+func TestEncodeDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, _ := New(2, 4)
+	data := randBlocks(rng, 2, 8)
+	enc, _ := c.Encode(data)
+	enc[0][0] ^= 0xff
+	if data[0][0] == enc[0][0] {
+		t.Fatal("Encode aliases caller data")
+	}
+}
+
+func TestDecodeAllSubsets(t *testing.T) {
+	// Exhaustive any-k-of-n check for a small code: every 3-subset of 6
+	// shards must recover the data.
+	rng := rand.New(rand.NewSource(3))
+	c, err := New(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 3, 16)
+	enc, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for d := b + 1; d < 6; d++ {
+				shards := make([][]byte, 6)
+				shards[a] = enc[a]
+				shards[b] = enc[b]
+				shards[d] = enc[d]
+				got, err := c.Decode(shards)
+				if err != nil {
+					t.Fatalf("decode {%d,%d,%d}: %v", a, b, d, err)
+				}
+				for i := range data {
+					if !bytes.Equal(got[i], data[i]) {
+						t.Fatalf("decode {%d,%d,%d}: block %d mismatch", a, b, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRandomErasures(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(20)
+		n := k + r.Intn(20)
+		size := 1 + r.Intn(64)
+		c, err := New(k, n)
+		if err != nil {
+			return false
+		}
+		data := randBlocks(r, k, size)
+		enc, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Keep a random k-subset.
+		perm := r.Perm(n)
+		shards := make([][]byte, n)
+		for _, idx := range perm[:k] {
+			shards[idx] = enc[idx]
+		}
+		got, err := c.Decode(shards)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTooFewShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, _ := New(4, 8)
+	data := randBlocks(rng, 4, 8)
+	enc, _ := c.Encode(data)
+	shards := make([][]byte, 8)
+	shards[0] = enc[0]
+	shards[5] = enc[5]
+	shards[7] = enc[7]
+	if _, err := c.Decode(shards); !errors.Is(err, ErrShortData) {
+		t.Fatalf("want ErrShortData, got %v", err)
+	}
+}
+
+func TestDecodeWrongShardCount(t *testing.T) {
+	c, _ := New(2, 4)
+	if _, err := c.Decode(make([][]byte, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+	if _, err := c.Encode(make([][]byte, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("want ErrShardCount, got %v", err)
+	}
+}
+
+func TestUnevenShardSizes(t *testing.T) {
+	c, _ := New(2, 4)
+	if _, err := c.Encode([][]byte{make([]byte, 4), make([]byte, 5)}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+}
+
+func TestKPrimeEqualsK(t *testing.T) {
+	c, _ := New(10, 30)
+	if c.KPrime() != c.K() || c.K() != 10 || c.N() != 30 {
+		t.Fatalf("accessors wrong: k=%d n=%d k'=%d", c.K(), c.N(), c.KPrime())
+	}
+}
+
+func TestRateOneCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(rng, 4, 8)
+	enc, _ := c.Encode(data)
+	got, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatal("rate-1 code roundtrip failed")
+		}
+	}
+}
+
+func TestDecodePrefersSystematicFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, _ := New(3, 5)
+	data := randBlocks(rng, 3, 8)
+	enc, _ := c.Encode(data)
+	shards := make([][]byte, 5)
+	copy(shards, enc[:3]) // all systematic shards present
+	shards[4] = enc[4]
+	got, err := c.Decode(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatal("fast path wrong")
+		}
+	}
+}

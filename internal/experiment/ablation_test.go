@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"testing"
+
+	"lrseluge/internal/image"
+)
+
+func TestSchedulerAblation(t *testing.T) {
+	params := image.Params{PacketPayload: 72, K: 8, N: 16}
+	res, err := SchedulerAblation(params, 2048, 10, 0.2, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for policy, avg := range res {
+		if avg.Completed < 1 {
+			t.Fatalf("%v: incomplete (%f)", policy, avg.Completed)
+		}
+		if !avg.ImagesOK {
+			t.Fatalf("%v: image corruption", policy)
+		}
+	}
+	greedy := res[GreedyRR]
+	union := res[UnionBits]
+	if greedy.DataPkts > union.DataPkts*1.1 {
+		t.Errorf("greedy scheduler (%f) should not lose badly to union (%f)", greedy.DataPkts, union.DataPkts)
+	}
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"testing"
+
+	"lrseluge/internal/image"
+)
+
+func TestAttackResilience(t *testing.T) {
+	params := image.Params{PacketPayload: 72, K: 8, N: 12}
+	report, err := AttackResilience(params, 2048, 5, 0.1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forged-data injection: every forged packet rejected, dissemination
+	// completes, images intact (the paper's code-image integrity claim).
+	if report.InjectionForged == 0 {
+		t.Fatal("injector never fired; scenario vacuous")
+	}
+	if report.Injection.ForgedAccepted != 0 {
+		t.Fatalf("%d forged packets accepted", report.Injection.ForgedAccepted)
+	}
+	if report.Injection.AuthDrops == 0 {
+		t.Fatal("no authentication drops recorded despite injection")
+	}
+	if report.Injection.Completed != report.Injection.Nodes || !report.Injection.ImagesOK {
+		t.Fatalf("dissemination failed under injection: %d/%d ok=%v",
+			report.Injection.Completed, report.Injection.Nodes, report.Injection.ImagesOK)
+	}
+
+	// Weak signature flood: filtered by the puzzle, no extra verifications
+	// beyond roughly one per node.
+	if report.SigFloodSent == 0 || report.SigFlood.PuzzleRejects == 0 {
+		t.Fatalf("sig flood vacuous: sent=%d rejects=%d", report.SigFloodSent, report.SigFlood.PuzzleRejects)
+	}
+	maxLegit := int64(report.SigFlood.Nodes + 2)
+	if report.SigFlood.SigVerifications > maxLegit {
+		t.Fatalf("weak flood forced %d verifications (> %d legit)", report.SigFlood.SigVerifications, maxLegit)
+	}
+	if report.SigFlood.Completed != report.SigFlood.Nodes {
+		t.Fatal("dissemination failed under weak sig flood")
+	}
+
+	// Strong flood (brute-forced puzzles): costs verifications but the
+	// image still disseminates and no forgery is accepted.
+	if report.SigFloodStrong.SigVerifications <= maxLegit {
+		t.Fatalf("strong flood should force extra verifications, got %d", report.SigFloodStrong.SigVerifications)
+	}
+	if report.SigFloodStrong.Completed != report.SigFloodStrong.Nodes || !report.SigFloodStrong.ImagesOK {
+		t.Fatal("dissemination failed under strong sig flood")
+	}
+	if report.SigFloodStrong.ForgedAccepted != 0 {
+		t.Fatal("forged signature accepted under strong flood")
+	}
+
+	// Denial of receipt: the defense must cut the victim's transmissions.
+	if report.DoRVictimTxDefense >= report.DoRVictimTxNoDefense {
+		t.Fatalf("defense did not reduce victim load: %d vs %d",
+			report.DoRVictimTxDefense, report.DoRVictimTxNoDefense)
+	}
+}

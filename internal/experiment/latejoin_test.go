@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"lrseluge/internal/core"
+	"lrseluge/internal/crypt/puzzle"
+	"lrseluge/internal/crypt/sign"
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/image"
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+)
+
+// TestLateJoinerCatchesUp exercises the MAINTAIN machinery the paper
+// inherits from Deluge: a node that boots long after the dissemination
+// finished must still obtain the image from its (now idle) neighbors via
+// Trickle advertisements — LR-Seluge's any-node-can-serve property.
+func TestLateJoinerCatchesUp(t *testing.T) {
+	params := image.Params{PacketPayload: 72, K: 8, N: 12}
+	s := Scenario{
+		Protocol:   LRSeluge,
+		ImageSize:  2048,
+		Params:     params,
+		Receivers:  3,
+		LossP:      0.1,
+		ExtraNodes: 1, // reserve a slot for the late joiner
+		Seed:       17,
+	}
+	e, err := build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.run()
+	if e.col.Completions() != len(e.nodes) {
+		t.Fatalf("setup: initial dissemination incomplete (%d/%d)", e.col.Completions(), len(e.nodes))
+	}
+
+	// Boot the late joiner on the reserved slot with the same preloaded
+	// security material.
+	keyPair, err := sign.GenerateDeterministic(s.Seed ^ 0xec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := puzzle.NewChain([]byte("lrseluge-experiment"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCtx := &dissem.SigContext{
+		Pub:        keyPair.Public(),
+		Commitment: chain.Commitment(),
+		Puzzle:     puzzle.Params{Strength: 8},
+		Col:        e.col,
+	}
+	h, err := core.NewHandler(1, params, sigCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateID := packet.NodeID(4)
+	node, err := dissem.NewNode(lateID, e.nw, s.withDefaults().Dissem, h, h.NewPolicy(), 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+
+	// Give it a few minutes of virtual time: the idle network's Trickle
+	// interval has backed off toward IMax (60 s), so discovery can take a
+	// couple of intervals.
+	e.eng.Run(e.eng.Now() + 10*60*sim.Second)
+	if !node.Completed() {
+		t.Fatalf("late joiner incomplete: %d/%d units", h.CompleteUnits(), h.TotalUnits())
+	}
+	got, err := h.ReassembledImage(len(e.imageData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, e.imageData) {
+		t.Fatal("late joiner reconstructed a different image")
+	}
+}

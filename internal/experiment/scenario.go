@@ -1,0 +1,486 @@
+// Package experiment builds and runs the paper's evaluation scenarios
+// (§VI): one-hop neighborhoods with application-layer Bernoulli losses,
+// multi-hop grids with bursty noise, and adversarial variants, producing the
+// metrics of every figure and table.
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"lrseluge/internal/core"
+	"lrseluge/internal/crypt/puzzle"
+	"lrseluge/internal/crypt/sign"
+	"lrseluge/internal/deluge"
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/image"
+	"lrseluge/internal/metrics"
+	"lrseluge/internal/packet"
+	"lrseluge/internal/radio"
+	"lrseluge/internal/rateless"
+	"lrseluge/internal/seluge"
+	"lrseluge/internal/sim"
+	"lrseluge/internal/topo"
+)
+
+// Protocol selects the dissemination scheme under test.
+type Protocol int
+
+// Protocols.
+const (
+	Deluge Protocol = iota
+	Seluge
+	LRSeluge
+	// RatelessDeluge is the loss-resilient-but-insecure related-work
+	// baseline (Rateless Deluge / SYNAPSE style, LT-coded pages).
+	RatelessDeluge
+)
+
+// LRPolicy selects the transmission scheduling policy used by LR-Seluge
+// servers (ablation of §IV-D.3).
+type LRPolicy int
+
+// LR-Seluge scheduling policies.
+const (
+	// GreedyRR is the paper's greedy round-robin tracking-table scheduler.
+	GreedyRR LRPolicy = iota
+	// UnionBits transmits the union of requested bit vectors (what Deluge
+	// and Seluge do).
+	UnionBits
+	// FreshRR ignores requested indices and serves fresh encoded packets
+	// round-robin (what rateless schemes do).
+	FreshRR
+)
+
+// String implements fmt.Stringer.
+func (p LRPolicy) String() string {
+	switch p {
+	case GreedyRR:
+		return "greedy-rr"
+	case UnionBits:
+		return "union"
+	case FreshRR:
+		return "fresh-rr"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Deluge:
+		return "Deluge"
+	case Seluge:
+		return "Seluge"
+	case LRSeluge:
+		return "LR-Seluge"
+	case RatelessDeluge:
+		return "Rateless-Deluge"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Scenario describes one simulation run. Zero-valued optional fields get
+// paper-faithful defaults.
+type Scenario struct {
+	Protocol Protocol
+
+	// Image is the code image; if nil a deterministic pseudo-random image
+	// of ImageSize bytes is generated. ImageSize defaults to 20 KB (§VI-B).
+	Image     []byte
+	ImageSize int
+
+	// Params is the packet/coding geometry; zero value means defaults
+	// (payload 72 B, k = 32, n = 48).
+	Params image.Params
+
+	// Graph is the topology; nil means a fully-connected one-hop
+	// neighborhood of Receivers+1 nodes with node 0 the base station.
+	Graph     *topo.Graph
+	Receivers int
+
+	// Loss overrides the loss model; if nil, a Bernoulli model with LossP
+	// is used (the one-hop emulation strategy of §VI-A). For stateful
+	// models (Gilbert-Elliott) prefer LossFactory so repeated runs get
+	// fresh channel state.
+	Loss        radio.LossModel
+	LossFactory func() radio.LossModel
+	LossP       float64
+
+	// Radio and Dissem tune the physical layer and protocol timers; zero
+	// values mean defaults.
+	Radio  radio.Config
+	Dissem dissem.Config
+
+	// PuzzleStrength is the weak-authenticator difficulty in leading zero
+	// bits (simulation default 8: cheap for the base station, still
+	// demonstrably filtering).
+	PuzzleStrength uint
+
+	// LRPolicy selects LR-Seluge's transmission scheduling policy, for the
+	// ablation of the paper's greedy round-robin scheduler (§IV-D.3).
+	LRPolicy LRPolicy
+
+	// ExtraNodes reserves this many trailing topology slots for
+	// adversaries (or other non-protocol receivers) attached by the
+	// caller; no protocol node is created for them.
+	ExtraNodes int
+
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// Horizon caps virtual time; runs not finished by then report partial
+	// completion. Default 4 simulated hours.
+	Horizon sim.Time
+}
+
+// Result carries the metrics the paper reports for a run.
+type Result struct {
+	Protocol  Protocol
+	Nodes     int
+	Completed int
+
+	DataPkts  int64
+	SnackPkts int64
+	AdvPkts   int64
+	SigPkts   int64
+	// PageDataPkts counts data transmissions of image-page units only
+	// (excluding the hash page), the quantity in Fig. 3.
+	PageDataPkts int64
+
+	TotalBytes int64
+	Latency    sim.Time
+
+	AuthDrops        int64
+	PuzzleRejects    int64
+	SigVerifications int64
+	ForgedAccepted   int64
+	ChannelLosses    int64
+
+	// ImagesOK is true when every completed node reconstructed the exact
+	// original image bytes.
+	ImagesOK bool
+
+	// Units is the object's total unit count (pages + overhead units).
+	Units int
+}
+
+// reassembler is implemented by all three protocol handlers.
+type reassembler interface {
+	ReassembledImage(size int) ([]byte, error)
+}
+
+// env is a fully-wired simulation ready to run; attack experiments extend it
+// with adversaries before running.
+type env struct {
+	scenario    Scenario
+	eng         *sim.Engine
+	col         *metrics.Collector
+	nw          *radio.Network
+	nodes       []*dissem.Node
+	handlers    []reassembler
+	baseHandler dissem.ObjectHandler
+	imageData   []byte
+	units       int
+	pageUnit0   int // first image-page unit (0 for Deluge, 2 for secure)
+	completed   int
+}
+
+func (s *Scenario) withDefaults() Scenario {
+	out := *s
+	if out.ImageSize == 0 {
+		out.ImageSize = 20 * 1024
+	}
+	if out.Params == (image.Params{}) {
+		out.Params = image.DefaultParams()
+	}
+	if out.Receivers == 0 && out.Graph == nil {
+		out.Receivers = 20
+	}
+	if out.Radio == (radio.Config{}) {
+		out.Radio = radio.DefaultConfig()
+	}
+	if out.Dissem.Trickle.IMin == 0 {
+		out.Dissem = dissem.DefaultConfig()
+	}
+	if out.PuzzleStrength == 0 {
+		out.PuzzleStrength = 8
+	}
+	if out.Horizon == 0 {
+		out.Horizon = 4 * 3600 * sim.Second
+	}
+	return out
+}
+
+// build wires the full simulation for a scenario.
+func build(s Scenario) (*env, error) {
+	s = s.withDefaults()
+	imgData := s.Image
+	if imgData == nil {
+		imgData = image.Random(s.ImageSize, s.Seed^0x1337)
+	}
+	graph := s.Graph
+	if graph == nil {
+		var err error
+		graph, err = topo.Complete(s.Receivers + 1 + s.ExtraNodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	loss := s.Loss
+	if s.LossFactory != nil {
+		loss = s.LossFactory()
+	}
+	if loss == nil {
+		if s.LossP > 0 {
+			loss = radio.Bernoulli{P: s.LossP}
+		} else {
+			loss = radio.NoLoss{}
+		}
+	}
+
+	eng := sim.New()
+	col := metrics.New()
+	nw, err := radio.New(eng, graph, loss, s.Radio, col, s.Seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &env{
+		scenario:  s,
+		eng:       eng,
+		col:       col,
+		nw:        nw,
+		imageData: imgData,
+	}
+
+	numNodes := graph.NumNodes() - s.ExtraNodes
+	if numNodes < 2 {
+		return nil, fmt.Errorf("experiment: topology too small after reserving %d adversary slots", s.ExtraNodes)
+	}
+	e.nodes = make([]*dissem.Node, 0, numNodes)
+	e.handlers = make([]reassembler, 0, numNodes)
+
+	// Security material shared by Seluge and LR-Seluge.
+	var (
+		keyPair *sign.KeyPair
+		chain   *puzzle.Chain
+		pparams = puzzle.Params{Strength: s.PuzzleStrength}
+	)
+	if s.Protocol == Seluge || s.Protocol == LRSeluge {
+		keyPair, err = sign.GenerateDeterministic(s.Seed ^ 0xec)
+		if err != nil {
+			return nil, err
+		}
+		chain, err = puzzle.NewChain([]byte("lrseluge-experiment"), 8)
+		if err != nil {
+			return nil, err
+		}
+	}
+	newSigCtx := func() *dissem.SigContext {
+		return &dissem.SigContext{
+			Pub:        keyPair.Public(),
+			Commitment: chain.Commitment(),
+			Puzzle:     pparams,
+			Col:        col,
+		}
+	}
+
+	const version = 1
+	switch s.Protocol {
+	case RatelessDeluge:
+		obj, err := rateless.NewObject(version, imgData, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		e.units = obj.NumPages()
+		e.pageUnit0 = 0
+		for id := 0; id < numNodes; id++ {
+			var h *rateless.Handler
+			if id == 0 {
+				h = rateless.Preload(obj)
+			} else {
+				h, err = rateless.NewHandler(version, s.Params)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := e.addNode(packet.NodeID(id), h, core.NewFreshPolicy(h.PacketsInUnit, h.NeededInUnit)); err != nil {
+				return nil, err
+			}
+		}
+	case Deluge:
+		obj, err := deluge.NewObject(version, imgData, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		e.units = obj.NumPages()
+		e.pageUnit0 = 0
+		for id := 0; id < numNodes; id++ {
+			var h *deluge.Handler
+			if id == 0 {
+				h = deluge.Preload(obj)
+			} else {
+				h, err = deluge.NewHandler(version, s.Params)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := e.addNode(packet.NodeID(id), h, deluge.NewPolicy(s.Params)); err != nil {
+				return nil, err
+			}
+		}
+	case Seluge:
+		obj, err := seluge.Build(seluge.BuildInput{
+			Version: version, Image: imgData, Params: s.Params,
+			Key: keyPair, Chain: chain, Puzzle: pparams,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.units = obj.TotalUnits()
+		e.pageUnit0 = 2
+		for id := 0; id < numNodes; id++ {
+			var h *seluge.Handler
+			if id == 0 {
+				h = seluge.Preload(obj, newSigCtx())
+			} else {
+				h, err = seluge.NewHandler(version, s.Params, newSigCtx())
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := e.addNode(packet.NodeID(id), h, h.NewPolicy()); err != nil {
+				return nil, err
+			}
+		}
+	case LRSeluge:
+		obj, err := core.Build(core.BuildInput{
+			Version: version, Image: imgData, Params: s.Params,
+			Key: keyPair, Chain: chain, Puzzle: pparams,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.units = obj.TotalUnits()
+		e.pageUnit0 = 2
+		for id := 0; id < numNodes; id++ {
+			var h *core.Handler
+			if id == 0 {
+				h = core.Preload(obj, newSigCtx())
+			} else {
+				h, err = core.NewHandler(version, s.Params, newSigCtx())
+				if err != nil {
+					return nil, err
+				}
+			}
+			var policy dissem.TxPolicy
+			switch s.LRPolicy {
+			case UnionBits:
+				policy = dissem.NewUnionPolicy(h.PacketsInUnit)
+			case FreshRR:
+				policy = core.NewFreshPolicy(h.PacketsInUnit, h.NeededInUnit)
+			default:
+				policy = h.NewPolicy()
+			}
+			if err := e.addNode(packet.NodeID(id), h, policy); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %d", s.Protocol)
+	}
+	return e, nil
+}
+
+// SchedulerAblation compares LR-Seluge's greedy round-robin scheduler
+// against the union-of-bit-vectors and fresh-packet policies on the same
+// scenario, isolating the contribution of the paper's TX scheduling
+// (§IV-D.3).
+func SchedulerAblation(params image.Params, imageSize, receivers int, p float64, runs int, seed int64) (map[LRPolicy]AvgResult, error) {
+	out := make(map[LRPolicy]AvgResult, 3)
+	for _, policy := range []LRPolicy{GreedyRR, UnionBits, FreshRR} {
+		avg, err := RunAvg(Scenario{
+			Protocol:  LRSeluge,
+			ImageSize: imageSize,
+			Params:    params,
+			Receivers: receivers,
+			LossP:     p,
+			LRPolicy:  policy,
+			Seed:      seed,
+		}, runs)
+		if err != nil {
+			return nil, err
+		}
+		out[policy] = avg
+	}
+	return out, nil
+}
+
+func (e *env) addNode(id packet.NodeID, handler dissem.ObjectHandler, policy dissem.TxPolicy) error {
+	node, err := dissem.NewNode(id, e.nw, e.scenario.withDefaults().Dissem, handler, policy, e.scenario.Seed^(int64(id)*0x9e3779b9+1))
+	if err != nil {
+		return err
+	}
+	node.SetOnComplete(func(packet.NodeID, sim.Time) {
+		e.completed++
+		if e.completed == len(e.nodes) {
+			e.eng.Stop()
+		}
+	})
+	e.nodes = append(e.nodes, node)
+	e.handlers = append(e.handlers, handler.(reassembler))
+	if id == 0 {
+		e.baseHandler = handler
+	}
+	return nil
+}
+
+// run starts all nodes, executes to completion or horizon, and collects the
+// result.
+func (e *env) run() Result {
+	s := e.scenario.withDefaults()
+	for _, n := range e.nodes {
+		n.Start()
+	}
+	e.eng.Run(s.Horizon)
+
+	res := Result{
+		Protocol:         s.Protocol,
+		Nodes:            len(e.nodes),
+		Completed:        e.col.Completions(),
+		DataPkts:         e.col.Tx(packet.TypeData),
+		SnackPkts:        e.col.Tx(packet.TypeSNACK),
+		AdvPkts:          e.col.Tx(packet.TypeAdv),
+		SigPkts:          e.col.Tx(packet.TypeSig),
+		PageDataPkts:     e.col.DataTxFromUnit(e.pageUnit0),
+		TotalBytes:       e.col.TotalBytes(),
+		Latency:          e.col.Latency(),
+		AuthDrops:        e.col.AuthDrops(),
+		PuzzleRejects:    e.col.PuzzleRejects(),
+		SigVerifications: e.col.SigVerifications(),
+		ForgedAccepted:   e.col.ForgedAccepted(),
+		ChannelLosses:    e.col.ChannelLosses(),
+		Units:            e.units,
+		ImagesOK:         true,
+	}
+	for _, h := range e.handlers {
+		got, err := h.ReassembledImage(len(e.imageData))
+		if err != nil || !bytes.Equal(got, e.imageData) {
+			res.ImagesOK = false
+			break
+		}
+	}
+	return res
+}
+
+// Run executes a scenario end to end.
+func Run(s Scenario) (Result, error) {
+	e, err := build(s)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run(), nil
+}

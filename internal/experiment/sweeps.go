@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"lrseluge/internal/analysis"
+	"lrseluge/internal/image"
+	"lrseluge/internal/radio"
+	"lrseluge/internal/topo"
+)
+
+// AvgResult is a Result averaged over repeated seeds, with sample standard
+// deviations for the headline metrics.
+type AvgResult struct {
+	Protocol   Protocol
+	Runs       int
+	Completed  float64 // fraction of nodes completed, averaged
+	DataPkts   float64
+	PageData   float64
+	SnackPkts  float64
+	AdvPkts    float64
+	SigPkts    float64
+	TotalBytes float64
+	LatencySec float64
+	ImagesOK   bool
+
+	// Sample standard deviations (zero when Runs == 1).
+	DataStd    float64
+	BytesStd   float64
+	LatencyStd float64
+}
+
+// RunAvg executes a scenario `runs` times with distinct seeds and averages
+// the metrics.
+func RunAvg(s Scenario, runs int) (AvgResult, error) {
+	if runs < 1 {
+		return AvgResult{}, fmt.Errorf("experiment: runs must be >= 1")
+	}
+	out := AvgResult{Protocol: s.Protocol, Runs: runs, ImagesOK: true}
+	data := make([]float64, 0, runs)
+	bytesSamples := make([]float64, 0, runs)
+	latency := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		sc := s
+		sc.Seed = s.Seed + int64(i)*1000003
+		r, err := Run(sc)
+		if err != nil {
+			return AvgResult{}, err
+		}
+		out.Completed += float64(r.Completed) / float64(r.Nodes)
+		out.DataPkts += float64(r.DataPkts)
+		out.PageData += float64(r.PageDataPkts)
+		out.SnackPkts += float64(r.SnackPkts)
+		out.AdvPkts += float64(r.AdvPkts)
+		out.SigPkts += float64(r.SigPkts)
+		out.TotalBytes += float64(r.TotalBytes)
+		out.LatencySec += r.Latency.Seconds()
+		out.ImagesOK = out.ImagesOK && r.ImagesOK
+		data = append(data, float64(r.DataPkts))
+		bytesSamples = append(bytesSamples, float64(r.TotalBytes))
+		latency = append(latency, r.Latency.Seconds())
+	}
+	f := float64(runs)
+	out.Completed /= f
+	out.DataPkts /= f
+	out.PageData /= f
+	out.SnackPkts /= f
+	out.AdvPkts /= f
+	out.SigPkts /= f
+	out.TotalBytes /= f
+	out.LatencySec /= f
+	out.DataStd = sampleStd(data, out.DataPkts)
+	out.BytesStd = sampleStd(bytesSamples, out.TotalBytes)
+	out.LatencyStd = sampleStd(latency, out.LatencySec)
+	return out, nil
+}
+
+// sampleStd returns the sample standard deviation around a known mean.
+func sampleStd(xs []float64, mean float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Fig3Point is one x-position of Fig. 3: analytical and simulated data-packet
+// counts for transmitting ONE page to N one-hop receivers.
+type Fig3Point struct {
+	X              float64 // loss rate p (Fig 3a) or receiver count N (Fig 3b)
+	SelugeAnalysis float64
+	ACKLRAnalysis  float64
+	SelugeSim      float64
+	LRSim          float64
+}
+
+// fig3Sim measures simulated data-packet transmissions for a single page.
+// Each protocol gets an image sized to exactly one of ITS pages, and only
+// image-page data packets are counted (hash-page and signature excluded),
+// matching the paper's "transmission of one page" setup (§VI-A).
+func fig3Sim(proto Protocol, params image.Params, receivers int, p float64, runs int, seed int64) (float64, error) {
+	size := params.SelugePageBytes()
+	if proto == LRSeluge {
+		size = params.LRPageBytes()
+	}
+	avg, err := RunAvg(Scenario{
+		Protocol:  proto,
+		ImageSize: size,
+		Params:    params,
+		Receivers: receivers,
+		LossP:     p,
+		Seed:      seed,
+	}, runs)
+	if err != nil {
+		return 0, err
+	}
+	if avg.Completed < 1 {
+		return 0, fmt.Errorf("experiment: fig3 run incomplete (%.2f) proto=%v p=%.2f", avg.Completed, proto, p)
+	}
+	return avg.PageData, nil
+}
+
+// Fig3LossSweep reproduces Fig. 3(a): data packets for one page versus the
+// packet-loss rate, with N receivers.
+func Fig3LossSweep(params image.Params, receivers int, ps []float64, runs int, seed int64) ([]Fig3Point, error) {
+	out := make([]Fig3Point, 0, len(ps))
+	for _, p := range ps {
+		pt := Fig3Point{X: p}
+		var err error
+		if pt.SelugeAnalysis, err = analysis.SelugeDataTx(params.K, receivers, p); err != nil {
+			return nil, err
+		}
+		if pt.ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, receivers, p); err != nil {
+			return nil, err
+		}
+		if pt.SelugeSim, err = fig3Sim(Seluge, params, receivers, p, runs, seed); err != nil {
+			return nil, err
+		}
+		if pt.LRSim, err = fig3Sim(LRSeluge, params, receivers, p, runs, seed); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig3ReceiverSweep reproduces Fig. 3(b): data packets for one page versus
+// the number of receivers, at loss rate p.
+func Fig3ReceiverSweep(params image.Params, ns []int, p float64, runs int, seed int64) ([]Fig3Point, error) {
+	out := make([]Fig3Point, 0, len(ns))
+	for _, n := range ns {
+		pt := Fig3Point{X: float64(n)}
+		var err error
+		if pt.SelugeAnalysis, err = analysis.SelugeDataTx(params.K, n, p); err != nil {
+			return nil, err
+		}
+		if pt.ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, n, p); err != nil {
+			return nil, err
+		}
+		if pt.SelugeSim, err = fig3Sim(Seluge, params, n, p, runs, seed); err != nil {
+			return nil, err
+		}
+		if pt.LRSim, err = fig3Sim(LRSeluge, params, n, p, runs, seed); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ComparisonPoint is one x-position of Figs. 4 and 5: all five paper metrics
+// for Seluge and LR-Seluge.
+type ComparisonPoint struct {
+	X      float64
+	Seluge AvgResult
+	LR     AvgResult
+}
+
+// Fig4LossImpact reproduces Fig. 4(a)-(e): the five metrics versus the
+// packet-loss rate for a 20 KB image and N = 20 one-hop receivers (§VI-B.1).
+func Fig4LossImpact(params image.Params, imageSize, receivers int, ps []float64, runs int, seed int64) ([]ComparisonPoint, error) {
+	out := make([]ComparisonPoint, 0, len(ps))
+	for _, p := range ps {
+		base := Scenario{ImageSize: imageSize, Params: params, Receivers: receivers, LossP: p, Seed: seed}
+		pt := ComparisonPoint{X: p}
+		var err error
+		sc := base
+		sc.Protocol = Seluge
+		if pt.Seluge, err = RunAvg(sc, runs); err != nil {
+			return nil, err
+		}
+		sc = base
+		sc.Protocol = LRSeluge
+		if pt.LR, err = RunAvg(sc, runs); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig5DensityImpact reproduces Fig. 5(a)-(e): the five metrics versus the
+// number of local receivers at p = 0.1 (§VI-B.2).
+func Fig5DensityImpact(params image.Params, imageSize int, receivers []int, p float64, runs int, seed int64) ([]ComparisonPoint, error) {
+	out := make([]ComparisonPoint, 0, len(receivers))
+	for _, n := range receivers {
+		base := Scenario{ImageSize: imageSize, Params: params, Receivers: n, LossP: p, Seed: seed}
+		pt := ComparisonPoint{X: float64(n)}
+		var err error
+		sc := base
+		sc.Protocol = Seluge
+		if pt.Seluge, err = RunAvg(sc, runs); err != nil {
+			return nil, err
+		}
+		sc = base
+		sc.Protocol = LRSeluge
+		if pt.LR, err = RunAvg(sc, runs); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RatePoint is one (n, p) cell of Fig. 6: LR-Seluge's five metrics at a
+// given erasure-coding rate n/k.
+type RatePoint struct {
+	N    int
+	P    float64
+	Rate float64
+	LR   AvgResult
+}
+
+// Fig6RateImpact reproduces Fig. 6(a)-(e): the impact of the erasure-coding
+// rate n/k on LR-Seluge, k fixed (paper fixes k = 32), under several loss
+// rates (§VI-B.3).
+func Fig6RateImpact(payload, k, imageSize, receivers int, ns []int, ps []float64, runs int, seed int64) ([]RatePoint, error) {
+	out := make([]RatePoint, 0, len(ns)*len(ps))
+	for _, p := range ps {
+		for _, n := range ns {
+			params := image.Params{PacketPayload: payload, K: k, N: n}
+			if err := params.Validate(); err != nil {
+				return nil, err
+			}
+			avg, err := RunAvg(Scenario{
+				Protocol:  LRSeluge,
+				ImageSize: imageSize,
+				Params:    params,
+				Receivers: receivers,
+				LossP:     p,
+				Seed:      seed,
+			}, runs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RatePoint{N: n, P: p, Rate: float64(n) / float64(k), LR: avg})
+		}
+	}
+	return out, nil
+}
+
+// MultiHopComparison reproduces Tables II and III: Seluge versus LR-Seluge
+// on a 15x15 grid with bursty (Gilbert-Elliott) noise substituting for the
+// paper's meyer-heavy.txt trace (§VI-C, DESIGN.md §5).
+func MultiHopComparison(params image.Params, imageSize int, density topo.GridDensity, rows, cols, runs int, seed int64) (selugeRes, lrRes AvgResult, err error) {
+	graph, err := topo.Grid(rows, cols, density)
+	if err != nil {
+		return AvgResult{}, AvgResult{}, err
+	}
+	if !graph.Connected() {
+		return AvgResult{}, AvgResult{}, fmt.Errorf("experiment: %v grid is not connected", density)
+	}
+	base := Scenario{
+		ImageSize: imageSize,
+		Params:    params,
+		Graph:     graph,
+		Seed:      seed,
+	}
+	base.LossFactory = func() radio.LossModel { return radio.HeavyNoise() }
+	sc := base
+	sc.Protocol = Seluge
+	selugeRes, err = RunAvg(sc, runs)
+	if err != nil {
+		return AvgResult{}, AvgResult{}, err
+	}
+	sc = base
+	sc.Protocol = LRSeluge
+	lrRes, err = RunAvg(sc, runs)
+	if err != nil {
+		return AvgResult{}, AvgResult{}, err
+	}
+	return selugeRes, lrRes, nil
+}

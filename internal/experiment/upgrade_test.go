@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"testing"
+
+	"lrseluge/internal/image"
+	"lrseluge/internal/sim"
+)
+
+func TestVersionUpgrade(t *testing.T) {
+	params := image.Params{PacketPayload: 72, K: 8, N: 12}
+	res, err := VersionUpgrade(params, 2048, 5, 0.1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upgraded != res.Nodes {
+		t.Fatalf("only %d/%d nodes upgraded", res.Upgraded, res.Nodes)
+	}
+	if !res.ImagesOK {
+		t.Fatal("version-2 images not intact everywhere")
+	}
+	if res.UpgradeLatency <= 0 || res.UpgradeLatency > 30*60*sim.Second {
+		t.Fatalf("implausible upgrade latency %v", res.UpgradeLatency)
+	}
+	// Every node verifies one signature per version (plus possibly a few
+	// re-verifications from duplicate announcements).
+	if res.SigVerifications < int64(res.Nodes) {
+		t.Fatalf("too few signature verifications: %d", res.SigVerifications)
+	}
+}
+
+func TestVersionUpgradeLossless(t *testing.T) {
+	params := image.Params{PacketPayload: 72, K: 8, N: 12}
+	res, err := VersionUpgrade(params, 1024, 3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upgraded != res.Nodes || !res.ImagesOK {
+		t.Fatalf("lossless upgrade failed: %+v", res)
+	}
+}

@@ -1,0 +1,193 @@
+// Package metrics collects the performance measures the paper reports: data,
+// SNACK and advertisement packet counts, total communication cost in bytes,
+// and dissemination latency (time until every node holds the full image),
+// plus security counters for the adversarial experiments.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+)
+
+// Collector accumulates counters for one simulation run. The zero value is
+// not ready for use; call New.
+type Collector struct {
+	txCount map[packet.Type]int64
+	txBytes map[packet.Type]int64
+	rxCount map[packet.Type]int64
+
+	perNodeTx     map[packet.NodeID]int64
+	dataTxByUnit  map[int]int64
+	dataTxByIndex map[[2]int]int64 // (unit, index) -> transmissions
+
+	completion map[packet.NodeID]sim.Time
+
+	// Security counters.
+	authDrops        int64 // packets dropped by per-packet authentication
+	forgedAccepted   int64 // forged packets accepted (must stay zero)
+	sigVerifications int64 // expensive signature verifications performed
+	puzzleRejects    int64 // signature packets rejected by the weak authenticator
+	channelLosses    int64 // packets dropped by the lossy channel
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		txCount:       make(map[packet.Type]int64),
+		txBytes:       make(map[packet.Type]int64),
+		rxCount:       make(map[packet.Type]int64),
+		perNodeTx:     make(map[packet.NodeID]int64),
+		dataTxByUnit:  make(map[int]int64),
+		dataTxByIndex: make(map[[2]int]int64),
+		completion:    make(map[packet.NodeID]sim.Time),
+	}
+}
+
+// RecordTx accounts one transmission of p by node from.
+func (c *Collector) RecordTx(from packet.NodeID, p packet.Packet) {
+	c.txCount[p.Kind()]++
+	c.txBytes[p.Kind()] += int64(p.WireSize())
+	c.perNodeTx[from]++
+	if d, ok := p.(*packet.Data); ok {
+		c.dataTxByUnit[int(d.Unit)]++
+		c.dataTxByIndex[[2]int{int(d.Unit), int(d.Index)}]++
+	}
+}
+
+// DataTxForIndex returns transmissions of one specific (unit, index) packet,
+// used by scheduler diagnostics and ablation benches.
+func (c *Collector) DataTxForIndex(u, idx int) int64 {
+	return c.dataTxByIndex[[2]int{u, idx}]
+}
+
+// DataTxForUnit returns the number of data-packet transmissions for one
+// unit, used by Fig. 3 to count page data packets separately from hash-page
+// traffic.
+func (c *Collector) DataTxForUnit(u int) int64 { return c.dataTxByUnit[u] }
+
+// DataTxFromUnit returns data-packet transmissions for all units >= u.
+func (c *Collector) DataTxFromUnit(u int) int64 {
+	var total int64
+	for unit, n := range c.dataTxByUnit {
+		if unit >= u {
+			total += n
+		}
+	}
+	return total
+}
+
+// RecordRx accounts a successful delivery of p to a node.
+func (c *Collector) RecordRx(p packet.Packet) { c.rxCount[p.Kind()]++ }
+
+// RecordChannelLoss accounts a packet dropped by the channel.
+func (c *Collector) RecordChannelLoss() { c.channelLosses++ }
+
+// RecordAuthDrop accounts a packet rejected by immediate authentication.
+func (c *Collector) RecordAuthDrop() { c.authDrops++ }
+
+// RecordForgedAccepted accounts a forged packet that slipped past
+// authentication; any nonzero value is a protocol failure.
+func (c *Collector) RecordForgedAccepted() { c.forgedAccepted++ }
+
+// RecordSigVerification accounts one expensive signature verification.
+func (c *Collector) RecordSigVerification() { c.sigVerifications++ }
+
+// RecordPuzzleReject accounts a signature packet filtered by the weak
+// authenticator before any expensive verification.
+func (c *Collector) RecordPuzzleReject() { c.puzzleRejects++ }
+
+// RecordCompletion notes that node finished receiving the image at time t.
+// Only the first completion per node is kept.
+func (c *Collector) RecordCompletion(node packet.NodeID, t sim.Time) {
+	if _, ok := c.completion[node]; !ok {
+		c.completion[node] = t
+	}
+}
+
+// Tx returns the number of transmissions of the given type.
+func (c *Collector) Tx(t packet.Type) int64 { return c.txCount[t] }
+
+// TxBytesOf returns the bytes transmitted for the given type.
+func (c *Collector) TxBytesOf(t packet.Type) int64 { return c.txBytes[t] }
+
+// Rx returns the number of successful deliveries of the given type.
+func (c *Collector) Rx(t packet.Type) int64 { return c.rxCount[t] }
+
+// TotalBytes returns the total communication cost in bytes across all packet
+// types, the paper's fairness metric (§VI: SNACKs differ in length between
+// schemes, so bytes are compared, not just counts).
+func (c *Collector) TotalBytes() int64 {
+	var total int64
+	for _, b := range c.txBytes {
+		total += b
+	}
+	return total
+}
+
+// TotalPackets returns the total number of transmissions.
+func (c *Collector) TotalPackets() int64 {
+	var total int64
+	for _, n := range c.txCount {
+		total += n
+	}
+	return total
+}
+
+// NodeTx returns the number of transmissions node id made, used by the
+// denial-of-receipt experiment to measure victim load.
+func (c *Collector) NodeTx(id packet.NodeID) int64 { return c.perNodeTx[id] }
+
+// Completions returns how many nodes have completed.
+func (c *Collector) Completions() int { return len(c.completion) }
+
+// CompletionTime returns when node finished, if it did.
+func (c *Collector) CompletionTime(node packet.NodeID) (sim.Time, bool) {
+	t, ok := c.completion[node]
+	return t, ok
+}
+
+// Latency returns the overall dissemination latency: the maximum completion
+// time over all completed nodes.
+func (c *Collector) Latency() sim.Time {
+	var max sim.Time
+	for _, t := range c.completion {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// AuthDrops returns the count of authentication rejections.
+func (c *Collector) AuthDrops() int64 { return c.authDrops }
+
+// ForgedAccepted returns the count of forged packets accepted.
+func (c *Collector) ForgedAccepted() int64 { return c.forgedAccepted }
+
+// SigVerifications returns the count of signature verifications.
+func (c *Collector) SigVerifications() int64 { return c.sigVerifications }
+
+// PuzzleRejects returns the count of weak-authenticator rejections.
+func (c *Collector) PuzzleRejects() int64 { return c.puzzleRejects }
+
+// ChannelLosses returns the count of channel-dropped packets.
+func (c *Collector) ChannelLosses() int64 { return c.channelLosses }
+
+// String renders a human-readable summary.
+func (c *Collector) String() string {
+	var sb strings.Builder
+	types := make([]packet.Type, 0, len(c.txCount))
+	for t := range c.txCount {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		fmt.Fprintf(&sb, "%s: %d pkts / %d B; ", t, c.txCount[t], c.txBytes[t])
+	}
+	fmt.Fprintf(&sb, "total %d B; latency %v; completed %d", c.TotalBytes(), c.Latency(), len(c.completion))
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+)
+
+func TestTxAccounting(t *testing.T) {
+	c := New()
+	a := &packet.Adv{Src: 1}
+	d := &packet.Data{Src: 2, Unit: 3, Index: 7, Payload: make([]byte, 10)}
+	c.RecordTx(1, a)
+	c.RecordTx(2, d)
+	c.RecordTx(2, d)
+
+	if c.Tx(packet.TypeAdv) != 1 || c.Tx(packet.TypeData) != 2 {
+		t.Fatal("tx counts wrong")
+	}
+	if c.TxBytesOf(packet.TypeData) != 2*int64(d.WireSize()) {
+		t.Fatal("tx bytes wrong")
+	}
+	if c.TotalPackets() != 3 {
+		t.Fatal("total packets wrong")
+	}
+	if c.TotalBytes() != int64(a.WireSize())+2*int64(d.WireSize()) {
+		t.Fatal("total bytes wrong")
+	}
+	if c.NodeTx(2) != 2 || c.NodeTx(1) != 1 || c.NodeTx(9) != 0 {
+		t.Fatal("per-node counts wrong")
+	}
+	if c.DataTxForUnit(3) != 2 || c.DataTxForUnit(1) != 0 {
+		t.Fatal("per-unit counts wrong")
+	}
+	if c.DataTxForIndex(3, 7) != 2 || c.DataTxForIndex(3, 8) != 0 {
+		t.Fatal("per-index counts wrong")
+	}
+	if c.DataTxFromUnit(2) != 2 || c.DataTxFromUnit(4) != 0 {
+		t.Fatal("from-unit counts wrong")
+	}
+}
+
+func TestCompletionKeepsFirst(t *testing.T) {
+	c := New()
+	c.RecordCompletion(4, 10*sim.Second)
+	c.RecordCompletion(4, 20*sim.Second)
+	c.RecordCompletion(5, 15*sim.Second)
+	if c.Completions() != 2 {
+		t.Fatal("completion count wrong")
+	}
+	if got, ok := c.CompletionTime(4); !ok || got != 10*sim.Second {
+		t.Fatal("first completion not kept")
+	}
+	if c.Latency() != 15*sim.Second {
+		t.Fatalf("latency %v, want max completion 15s", c.Latency())
+	}
+}
+
+func TestSecurityCounters(t *testing.T) {
+	c := New()
+	c.RecordAuthDrop()
+	c.RecordAuthDrop()
+	c.RecordForgedAccepted()
+	c.RecordSigVerification()
+	c.RecordPuzzleReject()
+	c.RecordChannelLoss()
+	if c.AuthDrops() != 2 || c.ForgedAccepted() != 1 || c.SigVerifications() != 1 ||
+		c.PuzzleRejects() != 1 || c.ChannelLosses() != 1 {
+		t.Fatal("security counters wrong")
+	}
+}
+
+func TestRxAccounting(t *testing.T) {
+	c := New()
+	c.RecordRx(&packet.Adv{})
+	if c.Rx(packet.TypeAdv) != 1 {
+		t.Fatal("rx count wrong")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	c := New()
+	c.RecordTx(0, &packet.Adv{})
+	s := c.String()
+	if !strings.Contains(s, "adv") || !strings.Contains(s, "total") {
+		t.Fatalf("summary missing fields: %q", s)
+	}
+}

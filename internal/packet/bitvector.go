@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitVector is the fixed-length bit map carried in SNACK requests: bit j is
+// set when the requester still needs packet j of the requested unit. In
+// LR-Seluge the vector has n bits (one per encoded packet); in Deluge and
+// Seluge it has k bits. The n-k extra bits are exactly the SNACK overhead
+// the paper accounts for in its byte-level comparison (§VI).
+type BitVector struct {
+	n    int
+	bits []byte
+}
+
+// NewBitVector returns an all-zero vector of n bits.
+func NewBitVector(n int) BitVector {
+	if n < 0 {
+		panic("packet: negative bit vector length")
+	}
+	return BitVector{n: n, bits: make([]byte, (n+7)/8)}
+}
+
+// Len returns the number of bits.
+func (v BitVector) Len() int { return v.n }
+
+// ByteLen returns the wire size in bytes.
+func (v BitVector) ByteLen() int { return len(v.bits) }
+
+// Get reports bit i.
+func (v BitVector) Get(i int) bool {
+	v.check(i)
+	return v.bits[i/8]&(1<<(uint(i)%8)) != 0
+}
+
+// Set sets bit i to val.
+func (v BitVector) Set(i int, val bool) {
+	v.check(i)
+	if val {
+		v.bits[i/8] |= 1 << (uint(i) % 8)
+	} else {
+		v.bits[i/8] &^= 1 << (uint(i) % 8)
+	}
+}
+
+// SetAll sets every bit.
+func (v BitVector) SetAll() {
+	for i := range v.bits {
+		v.bits[i] = 0xff
+	}
+	v.clearSlack()
+}
+
+// Clear zeroes every bit.
+func (v BitVector) Clear() {
+	for i := range v.bits {
+		v.bits[i] = 0
+	}
+}
+
+// Count returns the number of set bits (the q of the paper's distance
+// formula d_v = q + k' - n).
+func (v BitVector) Count() int {
+	total := 0
+	for _, b := range v.bits {
+		total += bits.OnesCount8(b)
+	}
+	return total
+}
+
+// Any reports whether any bit is set.
+func (v BitVector) Any() bool {
+	for _, b := range v.bits {
+		if b != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or merges other into v (set union). Lengths must match.
+func (v BitVector) Or(other BitVector) {
+	if v.n != other.n {
+		panic(fmt.Sprintf("packet: bit vector length mismatch %d vs %d", v.n, other.n))
+	}
+	for i := range v.bits {
+		v.bits[i] |= other.bits[i]
+	}
+}
+
+// Clone returns an independent copy.
+func (v BitVector) Clone() BitVector {
+	out := BitVector{n: v.n, bits: make([]byte, len(v.bits))}
+	copy(out.bits, v.bits)
+	return out
+}
+
+// Bytes returns the backing bytes (not a copy); used by Marshal.
+func (v BitVector) Bytes() []byte { return v.bits }
+
+// BitVectorFromBytes reconstructs a vector of n bits from wire bytes.
+func BitVectorFromBytes(n int, b []byte) (BitVector, error) {
+	want := (n + 7) / 8
+	if len(b) != want {
+		return BitVector{}, fmt.Errorf("packet: bit vector of %d bits needs %d bytes, got %d", n, want, len(b))
+	}
+	v := BitVector{n: n, bits: append([]byte(nil), b...)}
+	v.clearSlack()
+	return v, nil
+}
+
+// String renders the vector as a 0/1 string, LSB (packet 0) first.
+func (v BitVector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func (v BitVector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("packet: bit index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v BitVector) clearSlack() {
+	if v.n%8 == 0 || len(v.bits) == 0 {
+		return
+	}
+	v.bits[len(v.bits)-1] &= byte(1<<(uint(v.n)%8)) - 1
+}

@@ -1,0 +1,141 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(10)
+	if v.Len() != 10 || v.ByteLen() != 2 || v.Any() || v.Count() != 0 {
+		t.Fatalf("fresh vector wrong: %+v", v)
+	}
+	v.Set(0, true)
+	v.Set(9, true)
+	if !v.Get(0) || !v.Get(9) || v.Get(5) {
+		t.Fatal("Get/Set wrong")
+	}
+	if v.Count() != 2 || !v.Any() {
+		t.Fatal("Count/Any wrong")
+	}
+	v.Set(0, false)
+	if v.Get(0) || v.Count() != 1 {
+		t.Fatal("clearing failed")
+	}
+}
+
+func TestBitVectorSetAllRespectsLength(t *testing.T) {
+	v := NewBitVector(11)
+	v.SetAll()
+	if v.Count() != 11 {
+		t.Fatalf("SetAll count %d, want 11", v.Count())
+	}
+	// Slack bits in the final byte must stay clear so Count is exact.
+	raw := v.Bytes()
+	if raw[1]&^0x07 != 0 {
+		t.Fatalf("slack bits set: %08b", raw[1])
+	}
+	v.Clear()
+	if v.Any() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestBitVectorOr(t *testing.T) {
+	a := NewBitVector(8)
+	b := NewBitVector(8)
+	a.Set(1, true)
+	b.Set(6, true)
+	a.Or(b)
+	if !a.Get(1) || !a.Get(6) || a.Count() != 2 {
+		t.Fatal("Or wrong")
+	}
+}
+
+func TestBitVectorOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := NewBitVector(8)
+	b := NewBitVector(9)
+	a.Or(b)
+}
+
+func TestBitVectorCloneIndependent(t *testing.T) {
+	a := NewBitVector(8)
+	a.Set(3, true)
+	b := a.Clone()
+	b.Set(3, false)
+	if !a.Get(3) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestBitVectorFromBytes(t *testing.T) {
+	v := NewBitVector(12)
+	v.Set(2, true)
+	v.Set(11, true)
+	back, err := BitVectorFromBytes(12, v.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != v.String() {
+		t.Fatal("FromBytes roundtrip failed")
+	}
+	if _, err := BitVectorFromBytes(12, make([]byte, 1)); err == nil {
+		t.Fatal("short input accepted")
+	}
+	// Slack bits in wire input must be masked off.
+	raw := []byte{0x00, 0xff}
+	masked, err := BitVectorFromBytes(9, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Count() != 1 {
+		t.Fatalf("slack bits counted: %d", masked.Count())
+	}
+}
+
+func TestBitVectorOutOfRangePanics(t *testing.T) {
+	v := NewBitVector(4)
+	for _, fn := range []func(){
+		func() { v.Get(4) },
+		func() { v.Get(-1) },
+		func() { v.Set(4, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBitVectorString(t *testing.T) {
+	v := NewBitVector(5)
+	v.Set(0, true)
+	v.Set(4, true)
+	if v.String() != "10001" {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+func TestBitVectorCountMatchesString(t *testing.T) {
+	prop := func(n uint8, seeds []bool) bool {
+		size := int(n%64) + 1
+		v := NewBitVector(size)
+		for i := 0; i < size && i < len(seeds); i++ {
+			v.Set(i, seeds[i])
+		}
+		return v.Count() == strings.Count(v.String(), "1")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"lrseluge/internal/sim"
+)
+
+// LossModel decides, per delivery attempt, whether a packet is dropped on
+// the link from one node to another. linkQuality is the topology's base
+// delivery probability for the link (1.0 in one-hop experiments).
+//
+// Implementations may be stateful (burst models) but must derive all
+// randomness from the *rand.Rand handed to them so runs stay reproducible.
+type LossModel interface {
+	Drop(from, to int, linkQuality float64, now sim.Time, rng *rand.Rand) bool
+}
+
+// NoLoss delivers every packet the topology allows (losses only from link
+// quality < 1, if any).
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(_, _ int, linkQuality float64, _ sim.Time, rng *rand.Rand) bool {
+	return rng.Float64() >= linkQuality
+}
+
+// Bernoulli drops each packet independently with probability P at every
+// receiver — the paper's one-hop emulation strategy (§VI-A, following
+// SYNAPSE [6]): "packet losses are emulated by each node dropping received
+// data, advertisement, or SNACK packets with the same probability p".
+type Bernoulli struct {
+	P float64
+}
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(_, _ int, linkQuality float64, _ sim.Time, rng *rand.Rand) bool {
+	if rng.Float64() >= linkQuality {
+		return true
+	}
+	return rng.Float64() < b.P
+}
+
+// GilbertElliott is a two-state burst-loss channel, the substitute for the
+// paper's meyer-heavy.txt RF noise trace in multi-hop experiments (see
+// DESIGN.md §5). Each directed link carries an independent two-state
+// continuous-time Markov chain; packets sent while the link is in the Bad
+// state are dropped with high probability.
+type GilbertElliott struct {
+	// LossGood and LossBad are per-packet drop probabilities in each state.
+	LossGood, LossBad float64
+	// MeanGood and MeanBad are the mean sojourn times of each state.
+	MeanGood, MeanBad sim.Time
+
+	states map[linkKey]*geState
+}
+
+type linkKey struct{ from, to int }
+
+type geState struct {
+	bad     bool
+	updated sim.Time
+}
+
+// HeavyNoise returns parameters tuned to heavy, bursty interference:
+// roughly 25% of time is spent in a bad state where most packets die.
+func HeavyNoise() *GilbertElliott {
+	return &GilbertElliott{
+		LossGood: 0.05,
+		LossBad:  0.85,
+		MeanGood: 3 * sim.Second,
+		MeanBad:  1 * sim.Second,
+	}
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(from, to int, linkQuality float64, now sim.Time, rng *rand.Rand) bool {
+	if rng.Float64() >= linkQuality {
+		return true
+	}
+	if g.states == nil {
+		g.states = make(map[linkKey]*geState)
+	}
+	key := linkKey{from: from, to: to}
+	st, ok := g.states[key]
+	if !ok {
+		st = &geState{bad: rng.Float64() < g.stationaryBad(), updated: now}
+		g.states[key] = st
+	}
+	g.advance(st, now, rng)
+	p := g.LossGood
+	if st.bad {
+		p = g.LossBad
+	}
+	return rng.Float64() < p
+}
+
+// stationaryBad returns the long-run probability of the bad state.
+func (g *GilbertElliott) stationaryBad() float64 {
+	mg, mb := g.MeanGood.Seconds(), g.MeanBad.Seconds()
+	if mg+mb <= 0 {
+		return 0
+	}
+	return mb / (mg + mb)
+}
+
+// advance evolves the two-state CTMC from st.updated to now using the exact
+// transient distribution of the chain.
+func (g *GilbertElliott) advance(st *geState, now sim.Time, rng *rand.Rand) {
+	dt := (now - st.updated).Seconds()
+	st.updated = now
+	if dt <= 0 {
+		return
+	}
+	lambdaGB := 1 / g.MeanGood.Seconds() // good -> bad rate
+	lambdaBG := 1 / g.MeanBad.Seconds()  // bad -> good rate
+	total := lambdaGB + lambdaBG
+	piBad := lambdaGB / total
+	decay := math.Exp(-total * dt)
+	var pBad float64
+	if st.bad {
+		pBad = piBad + (1-piBad)*decay
+	} else {
+		pBad = piBad - piBad*decay
+	}
+	st.bad = rng.Float64() < pBad
+}

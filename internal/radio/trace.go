@@ -1,0 +1,93 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lrseluge/internal/sim"
+)
+
+// Trace is a time series of loss probabilities sampled at a fixed interval,
+// the shape of an empirical RF noise trace. The paper's multi-hop
+// experiments replay TOSSIM's meyer-heavy.txt; this type lets experiments
+// replay any such series (or a synthetic equivalent) deterministically.
+type Trace struct {
+	// Interval is the sampling period of the series.
+	Interval sim.Time
+	// Loss holds the per-interval loss probabilities in [0, 1].
+	Loss []float64
+}
+
+// Validate reports structural errors.
+func (tr Trace) Validate() error {
+	if tr.Interval <= 0 {
+		return fmt.Errorf("radio: trace interval must be positive")
+	}
+	if len(tr.Loss) == 0 {
+		return fmt.Errorf("radio: empty trace")
+	}
+	for i, p := range tr.Loss {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("radio: trace sample %d = %f outside [0,1]", i, p)
+		}
+	}
+	return nil
+}
+
+// At returns the loss probability in effect at virtual time t. The trace
+// wraps around when the simulation outlives it, as noise-trace replay tools
+// conventionally do.
+func (tr Trace) At(t sim.Time) float64 {
+	if len(tr.Loss) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t/tr.Interval) % len(tr.Loss)
+	return tr.Loss[idx]
+}
+
+// Duration returns the trace's total covered time before wrapping.
+func (tr Trace) Duration() sim.Time { return tr.Interval * sim.Time(len(tr.Loss)) }
+
+// SyntheticHeavyTrace generates a bursty loss series with the
+// characteristics of a heavy-interference environment: a two-state process
+// alternating between mild background loss and noise bursts in which most
+// packets die. It is the deterministic, replayable counterpart of the
+// GilbertElliott model (DESIGN.md §5).
+func SyntheticHeavyTrace(samples int, interval sim.Time, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	loss := make([]float64, samples)
+	bad := false
+	for i := range loss {
+		if bad {
+			loss[i] = 0.7 + 0.3*rng.Float64()
+			if rng.Float64() < 0.25 { // mean burst ~4 samples
+				bad = false
+			}
+		} else {
+			loss[i] = 0.02 + 0.08*rng.Float64()
+			if rng.Float64() < 0.08 { // mean quiet period ~12 samples
+				bad = true
+			}
+		}
+	}
+	return Trace{Interval: interval, Loss: loss}
+}
+
+// TraceLoss replays a Trace as a LossModel: every link experiences the
+// trace's loss probability for the current instant, on top of the
+// topology's base link quality. All links share the trace (ambient
+// interference), matching how TOSSIM applies a noise trace network-wide.
+type TraceLoss struct {
+	Trace Trace
+}
+
+// Drop implements LossModel.
+func (t TraceLoss) Drop(_, _ int, linkQuality float64, now sim.Time, rng *rand.Rand) bool {
+	if rng.Float64() >= linkQuality {
+		return true
+	}
+	return rng.Float64() < t.Trace.At(now)
+}

@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{Interval: sim.Second, Loss: []float64{0, 0.5, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trace{
+		{Interval: 0, Loss: []float64{0.1}},
+		{Interval: sim.Second, Loss: nil},
+		{Interval: sim.Second, Loss: []float64{1.5}},
+		{Interval: sim.Second, Loss: []float64{-0.1}},
+	}
+	for i, tr := range bad {
+		if tr.Validate() == nil {
+			t.Errorf("case %d: invalid trace accepted", i)
+		}
+	}
+}
+
+func TestTraceAtAndWrap(t *testing.T) {
+	tr := Trace{Interval: sim.Second, Loss: []float64{0.1, 0.2, 0.3}}
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{0, 0.1},
+		{999 * sim.Millisecond, 0.1},
+		{sim.Second, 0.2},
+		{2 * sim.Second, 0.3},
+		{3 * sim.Second, 0.1}, // wrap
+		{7 * sim.Second, 0.2},
+		{-5, 0.1},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %f, want %f", c.t, got, c.want)
+		}
+	}
+	if tr.Duration() != 3*sim.Second {
+		t.Fatal("duration wrong")
+	}
+}
+
+func TestSyntheticHeavyTraceShape(t *testing.T) {
+	tr := SyntheticHeavyTrace(2000, 100*sim.Millisecond, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a seed.
+	tr2 := SyntheticHeavyTrace(2000, 100*sim.Millisecond, 3)
+	for i := range tr.Loss {
+		if tr.Loss[i] != tr2.Loss[i] {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+	// It must contain both quiet samples and burst samples.
+	quiet, burst := 0, 0
+	for _, p := range tr.Loss {
+		if p < 0.2 {
+			quiet++
+		}
+		if p > 0.6 {
+			burst++
+		}
+	}
+	if quiet == 0 || burst == 0 {
+		t.Fatalf("trace lacks burst structure: quiet=%d burst=%d", quiet, burst)
+	}
+	if burst > quiet {
+		t.Fatalf("bursts dominate: quiet=%d burst=%d", quiet, burst)
+	}
+}
+
+func TestTraceLossDropRate(t *testing.T) {
+	tr := Trace{Interval: sim.Second, Loss: []float64{0.5}}
+	model := TraceLoss{Trace: tr}
+	rng := rand.New(rand.NewSource(1))
+	drops := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if model.Drop(0, 1, 1.0, 0, rng) {
+			drops++
+		}
+	}
+	rate := float64(drops) / trials
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("drop rate %f, want ~0.5", rate)
+	}
+}

@@ -1,0 +1,377 @@
+package seluge
+
+import (
+	"fmt"
+
+	"lrseluge/internal/crypt/hashx"
+	"lrseluge/internal/crypt/merkle"
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/image"
+	"lrseluge/internal/packet"
+)
+
+// Handler is a node's Seluge object state, implementing
+// dissem.ObjectHandler with immediate per-packet authentication.
+type Handler struct {
+	version uint16
+	params  image.Params
+	geom    m0Geometry
+	sigCtx  *dissem.SigContext
+
+	// Established by the verified signature packet.
+	sig  *packet.Sig
+	root hashx.Image
+	g    int
+
+	// Hash page assembly.
+	m0Have  []bool
+	m0Buf   [][]byte
+	m0Count int
+	m0Tree  *merkle.Tree // rebuilt once complete, for serving proofs
+
+	// Image page assembly (current page = len(pagePkts)+1).
+	curHave  []bool
+	curBuf   [][]byte
+	curCount int
+	pagePkts [][][]byte // completed pages' packet payloads
+}
+
+var _ dissem.ObjectHandler = (*Handler)(nil)
+
+// NewHandler creates an empty receiver-side handler. The M0 geometry must
+// match the base station's, which it does automatically because it is a
+// deterministic function of the preloaded parameters.
+func NewHandler(version uint16, p image.Params, sigCtx *dissem.SigContext) (*Handler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sigCtx == nil {
+		return nil, fmt.Errorf("seluge: nil signature context")
+	}
+	geom, err := geometryFor(p.K*hashx.Size, p.PacketPayload)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handler{version: version, params: p, geom: geom, sigCtx: sigCtx}
+	h.resetM0()
+	h.resetCurrent()
+	return h, nil
+}
+
+// Preload creates a handler that already possesses the whole object (the
+// base station).
+func Preload(o *Object, sigCtx *dissem.SigContext) *Handler {
+	h := &Handler{
+		version:  o.version,
+		params:   o.params,
+		geom:     o.geom,
+		sigCtx:   sigCtx,
+		sig:      o.sig,
+		root:     o.tree.Root(),
+		g:        o.g,
+		m0Tree:   o.tree,
+		m0Buf:    o.m0Blocks,
+		m0Count:  o.geom.numBlocks,
+		pagePkts: o.pagePkts,
+	}
+	h.m0Have = make([]bool, o.geom.numBlocks)
+	for i := range h.m0Have {
+		h.m0Have[i] = true
+	}
+	h.resetCurrent()
+	return h
+}
+
+func (h *Handler) resetM0() {
+	h.m0Have = make([]bool, h.geom.numBlocks)
+	h.m0Buf = make([][]byte, h.geom.numBlocks)
+	h.m0Count = 0
+}
+
+func (h *Handler) resetCurrent() {
+	h.curHave = make([]bool, h.params.K)
+	h.curBuf = make([][]byte, h.params.K)
+	h.curCount = 0
+}
+
+// Version implements dissem.ObjectHandler.
+func (h *Handler) Version() uint16 { return h.version }
+
+// TotalUnits implements dissem.ObjectHandler: 0 until the signature is
+// verified (Seluge never trusts unauthenticated object summaries).
+func (h *Handler) TotalUnits() int {
+	if h.sig == nil {
+		return 0
+	}
+	return h.g + 2
+}
+
+// CompleteUnits implements dissem.ObjectHandler.
+func (h *Handler) CompleteUnits() int {
+	if h.sig == nil {
+		return 0
+	}
+	if h.m0Count < h.geom.numBlocks {
+		return 1
+	}
+	return 2 + len(h.pagePkts)
+}
+
+// PacketsInUnit implements dissem.ObjectHandler.
+func (h *Handler) PacketsInUnit(u int) int {
+	switch u {
+	case 0:
+		return 1
+	case 1:
+		return h.geom.numBlocks
+	default:
+		return h.params.K
+	}
+}
+
+// NeededInUnit implements dissem.ObjectHandler: ARQ requires every packet.
+func (h *Handler) NeededInUnit(u int) int { return h.PacketsInUnit(u) }
+
+// HasPacket implements dissem.ObjectHandler.
+func (h *Handler) HasPacket(u, idx int) bool {
+	cu := h.CompleteUnits()
+	switch {
+	case u < cu:
+		return true
+	case u > cu:
+		return false
+	case u == 0:
+		return false // signature still wanted
+	case u == 1:
+		return idx >= 0 && idx < len(h.m0Have) && h.m0Have[idx]
+	default:
+		return idx >= 0 && idx < len(h.curHave) && h.curHave[idx]
+	}
+}
+
+// LearnTotal implements dissem.ObjectHandler: ignored; only the signed
+// signature packet is trusted for the object's extent.
+func (h *Handler) LearnTotal(int) {}
+
+// WantsSig implements dissem.ObjectHandler.
+func (h *Handler) WantsSig() bool { return h.sig == nil }
+
+// PreVerifySig implements dissem.ObjectHandler: the message-specific puzzle
+// check (one hash) that filters forged signature floods.
+func (h *Handler) PreVerifySig(s *packet.Sig) bool {
+	if h.sig != nil {
+		return false
+	}
+	return h.sigCtx.WeakCheck(s)
+}
+
+// IngestSig implements dissem.ObjectHandler: the expensive verification.
+func (h *Handler) IngestSig(s *packet.Sig) dissem.IngestResult {
+	if h.sig != nil {
+		return dissem.Duplicate
+	}
+	if !h.sigCtx.FullVerify(s) {
+		return dissem.Rejected
+	}
+	if s.Pages == 0 {
+		return dissem.Rejected
+	}
+	h.sig = &packet.Sig{
+		Version:   s.Version,
+		Pages:     s.Pages,
+		Root:      s.Root,
+		Signature: append([]byte(nil), s.Signature...),
+		PuzzleKey: s.PuzzleKey,
+		PuzzleSol: s.PuzzleSol,
+	}
+	h.root = s.Root
+	h.g = int(s.Pages)
+	return dissem.UnitComplete
+}
+
+// Ingest implements dissem.ObjectHandler: immediate authentication of every
+// data packet on arrival, then storage.
+func (h *Handler) Ingest(d *packet.Data) dissem.IngestResult {
+	u := int(d.Unit)
+	if u != h.CompleteUnits() {
+		return dissem.Stale
+	}
+	switch u {
+	case 0:
+		return dissem.Stale // signature travels as a Sig packet
+	case 1:
+		return h.ingestM0(d)
+	default:
+		return h.ingestPage(d)
+	}
+}
+
+func (h *Handler) ingestM0(d *packet.Data) dissem.IngestResult {
+	idx := int(d.Index)
+	if idx < 0 || idx >= h.geom.numBlocks || len(d.Payload) != h.geom.blockSize || len(d.Proof) != h.geom.depth {
+		return dissem.Rejected
+	}
+	if !merkle.Verify(h.root, d.Payload, idx, d.Proof) {
+		return dissem.Rejected
+	}
+	if h.m0Have[idx] {
+		return dissem.Duplicate
+	}
+	h.m0Have[idx] = true
+	h.m0Buf[idx] = append([]byte(nil), d.Payload...)
+	h.m0Count++
+	if h.m0Count < h.geom.numBlocks {
+		return dissem.Stored
+	}
+	tree, err := merkle.Build(h.m0Buf)
+	if err != nil || tree.Root() != h.root {
+		// Impossible if every packet verified; defensive reset.
+		h.resetM0()
+		return dissem.Rejected
+	}
+	h.m0Tree = tree
+	return dissem.UnitComplete
+}
+
+func (h *Handler) ingestPage(d *packet.Data) dissem.IngestResult {
+	u := int(d.Unit)
+	idx := int(d.Index)
+	if idx < 0 || idx >= h.params.K || len(d.Payload) != h.params.PacketPayload || len(d.Proof) != 0 {
+		return dissem.Rejected
+	}
+	want, ok := h.expectedHash(u, idx)
+	if !ok || hashx.Sum(d.AuthBody()) != want {
+		return dissem.Rejected
+	}
+	if h.curHave[idx] {
+		return dissem.Duplicate
+	}
+	h.curHave[idx] = true
+	h.curBuf[idx] = append([]byte(nil), d.Payload...)
+	h.curCount++
+	if h.curCount < h.params.K {
+		return dissem.Stored
+	}
+	h.pagePkts = append(h.pagePkts, h.curBuf)
+	h.resetCurrent()
+	return dissem.UnitComplete
+}
+
+// expectedHash returns the pre-established hash image for packet idx of unit
+// u: from the hash page for page 1, or from the embedded images in the
+// previous page's packets otherwise.
+func (h *Handler) expectedHash(u, idx int) (hashx.Image, bool) {
+	page := u - 1 // 1-based image page number
+	if page == 1 {
+		if h.m0Count < h.geom.numBlocks {
+			return hashx.Zero, false
+		}
+		joined := image.Join(h.m0Buf)
+		if len(joined) < h.params.K*hashx.Size {
+			return hashx.Zero, false
+		}
+		return hashx.FromBytes(joined[idx*hashx.Size:]), true
+	}
+	prev := page - 2 // index into pagePkts
+	if prev < 0 || prev >= len(h.pagePkts) {
+		return hashx.Zero, false
+	}
+	return hashx.FromBytes(h.pagePkts[prev][idx][:hashx.Size]), true
+}
+
+// Authentic implements dissem.ObjectHandler: verify a packet of any
+// already-held unit against the established authentication material without
+// storing it (used to keep forged packets from driving suppression).
+func (h *Handler) Authentic(d *packet.Data) bool {
+	if h.sig == nil {
+		return false
+	}
+	u := int(d.Unit)
+	idx := int(d.Index)
+	switch {
+	case u == 1:
+		return idx >= 0 && idx < h.geom.numBlocks &&
+			len(d.Payload) == h.geom.blockSize && len(d.Proof) == h.geom.depth &&
+			merkle.Verify(h.root, d.Payload, idx, d.Proof)
+	case u >= 2:
+		if idx < 0 || idx >= h.params.K || len(d.Payload) != h.params.PacketPayload || len(d.Proof) != 0 {
+			return false
+		}
+		want, ok := h.expectedHash(u, idx)
+		return ok && hashx.Sum(d.AuthBody()) == want
+	default:
+		return false
+	}
+}
+
+// SigPacket implements dissem.ObjectHandler.
+func (h *Handler) SigPacket(src packet.NodeID) *packet.Sig {
+	if h.sig == nil {
+		return nil
+	}
+	out := *h.sig
+	out.Src = src
+	return &out
+}
+
+// Packets implements dissem.ObjectHandler.
+func (h *Handler) Packets(u int, indices []int, src packet.NodeID) ([]*packet.Data, error) {
+	if u >= h.CompleteUnits() {
+		return nil, fmt.Errorf("seluge: unit %d not held", u)
+	}
+	out := make([]*packet.Data, 0, len(indices))
+	switch u {
+	case 1:
+		for _, idx := range indices {
+			if idx < 0 || idx >= h.geom.numBlocks {
+				return nil, fmt.Errorf("seluge: M0 index %d out of range", idx)
+			}
+			proof, err := h.m0Tree.Proof(idx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &packet.Data{
+				Src: src, Version: h.version, Unit: 1, Index: uint8(idx),
+				Payload: h.m0Buf[idx], Proof: proof,
+			})
+		}
+	default:
+		page := u - 2 // index into pagePkts
+		if page < 0 || page >= len(h.pagePkts) {
+			return nil, fmt.Errorf("seluge: page unit %d not held", u)
+		}
+		for _, idx := range indices {
+			if idx < 0 || idx >= h.params.K {
+				return nil, fmt.Errorf("seluge: packet index %d out of range", idx)
+			}
+			out = append(out, &packet.Data{
+				Src: src, Version: h.version, Unit: packet.Unit(u), Index: uint8(idx),
+				Payload: h.pagePkts[page][idx],
+			})
+		}
+	}
+	return out, nil
+}
+
+// ReassembledImage strips the embedded hash images and padding, returning
+// the received code image for end-to-end verification.
+func (h *Handler) ReassembledImage(size int) ([]byte, error) {
+	if h.sig == nil || len(h.pagePkts) < h.g {
+		return nil, fmt.Errorf("seluge: object incomplete")
+	}
+	pages := make([][]byte, h.g)
+	for i, pkts := range h.pagePkts {
+		page := make([]byte, 0, h.params.SelugePageBytes())
+		for _, payload := range pkts {
+			page = append(page, payload[hashx.Size:]...)
+		}
+		pages[i] = page
+	}
+	return image.Reassemble(pages, size)
+}
+
+// NewPolicy returns the Seluge transmission policy: same union-of-requests
+// behavior as Deluge.
+func (h *Handler) NewPolicy() dissem.TxPolicy {
+	return dissem.NewUnionPolicy(h.PacketsInUnit)
+}

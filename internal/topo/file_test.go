@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseNodeFileTwoColumn(t *testing.T) {
+	in := `# comment
+0 0
+10 0
+
+20 0
+`
+	g, err := ParseNodeFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+	if g.Position(1) != (Point{X: 10, Y: 0}) {
+		t.Fatalf("position wrong: %+v", g.Position(1))
+	}
+	// 0 and 1 are 10 apart (within range); 0 and 2 are 20 apart (within
+	// range 30); all connected.
+	if len(g.Neighbors(0)) != 2 {
+		t.Fatalf("node 0 neighbors: %d", len(g.Neighbors(0)))
+	}
+}
+
+func TestParseNodeFileThreeColumn(t *testing.T) {
+	in := "0 0 0\n1 10 0\n2 0 10\n"
+	g, err := ParseNodeFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || !g.Connected() {
+		t.Fatal("three-column parse wrong")
+	}
+}
+
+func TestParseNodeFileErrors(t *testing.T) {
+	cases := []string{
+		"",                // no nodes
+		"0 0",             // one node
+		"0 0 0\n5 10 0\n", // id out of order
+		"a b\n",           // bad coordinates
+		"1 2 3 4\n",       // too many fields
+		"0 0\nnot-a-float 0\n",
+	}
+	for i, in := range cases {
+		if _, err := ParseNodeFile(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed file accepted", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g, err := Grid(3, 3, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteNodeFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNodeFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Fatal("node count changed in roundtrip")
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if back.Position(i) != g.Position(i) {
+			t.Fatalf("position %d changed", i)
+		}
+		if len(back.Neighbors(i)) != len(g.Neighbors(i)) {
+			t.Fatalf("adjacency %d changed", i)
+		}
+	}
+}

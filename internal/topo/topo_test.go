@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestCompleteGraph(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+	for i := 0; i < 5; i++ {
+		links := g.Neighbors(i)
+		if len(links) != 4 {
+			t.Fatalf("node %d has %d neighbors", i, len(links))
+		}
+		for _, l := range links {
+			if l.Quality != 1 {
+				t.Fatalf("complete graph link quality %f", l.Quality)
+			}
+			if l.To == i {
+				t.Fatal("self-loop")
+			}
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("complete graph not connected")
+	}
+}
+
+func TestCompleteTooSmall(t *testing.T) {
+	if _, err := Complete(1); err == nil {
+		t.Fatal("1-node complete graph accepted")
+	}
+}
+
+func TestGridDensities(t *testing.T) {
+	tight, err := Grid(15, 15, Tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	medium, err := Grid(15, 15, Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.NumNodes() != 225 || medium.NumNodes() != 225 {
+		t.Fatal("grid size wrong")
+	}
+	if tight.AvgDegree() <= medium.AvgDegree() {
+		t.Fatalf("tight grid (%f) should be denser than medium (%f)", tight.AvgDegree(), medium.AvgDegree())
+	}
+	if !tight.Connected() || !medium.Connected() {
+		t.Fatal("grids must be connected")
+	}
+	// Medium spacing 20 with range 30: the grid is multi-hop, not a clique.
+	if medium.AvgDegree() >= float64(medium.NumNodes()-1) {
+		t.Fatal("medium grid should be multi-hop")
+	}
+}
+
+func TestGridSymmetricLinks(t *testing.T) {
+	g, _ := Grid(4, 4, Medium)
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, l := range g.Neighbors(i) {
+			found := false
+			for _, back := range g.Neighbors(l.To) {
+				if back.To == i {
+					found = true
+					if back.Quality != l.Quality {
+						t.Fatalf("asymmetric link quality %d<->%d", i, l.To)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %d->%d", i, l.To)
+			}
+		}
+	}
+}
+
+func TestQualityDecreasesWithDistance(t *testing.T) {
+	g, _ := Grid(1, 4, Tight) // nodes at 0, 10, 20, 30
+	var q10, q30 float64
+	for _, l := range g.Neighbors(0) {
+		switch l.To {
+		case 1:
+			q10 = l.Quality
+		case 3:
+			q30 = l.Quality
+		}
+	}
+	if q10 == 0 || q30 == 0 {
+		t.Fatal("expected links at 10 and 30 units")
+	}
+	if q30 >= q10 {
+		t.Fatalf("quality should fall with distance: q(10)=%f q(30)=%f", q10, q30)
+	}
+}
+
+func TestGridInvalid(t *testing.T) {
+	if _, err := Grid(0, 5, Tight); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+}
+
+func TestRandomDiskDeterministic(t *testing.T) {
+	a, err := RandomDisk(30, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomDisk(30, 100, 7)
+	for i := 0; i < 30; i++ {
+		if a.Position(i) != b.Position(i) {
+			t.Fatal("RandomDisk not deterministic")
+		}
+	}
+	c, _ := RandomDisk(30, 100, 8)
+	same := true
+	for i := 0; i < 30; i++ {
+		if a.Position(i) != c.Position(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical layout")
+	}
+}
+
+func TestRandomDiskInvalid(t *testing.T) {
+	if _, err := RandomDisk(1, 100, 1); err == nil {
+		t.Fatal("single node accepted")
+	}
+	if _, err := RandomDisk(10, 0, 1); err == nil {
+		t.Fatal("zero side accepted")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Point{X: 0, Y: 0}
+	b := Point{X: 3, Y: 4}
+	if a.Distance(b) != 5 {
+		t.Fatalf("distance %f", a.Distance(b))
+	}
+}
+
+func TestDensityString(t *testing.T) {
+	if Tight.String() != "tight" || Medium.String() != "medium" {
+		t.Fatal("density names wrong")
+	}
+	if Tight.Spacing() >= Medium.Spacing() {
+		t.Fatal("tight spacing should be smaller")
+	}
+}
+
+func TestDisconnectedDetection(t *testing.T) {
+	// Two nodes far beyond comm range.
+	g, err := RandomDisk(2, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		// Statistically near-impossible at side 10000 with range 30; if it
+		// happens the seed placed them together — regenerate mentality not
+		// needed, just check the primitive differently.
+		t.Skip("nodes happened to land in range")
+	}
+}

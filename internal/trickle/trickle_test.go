@@ -1,0 +1,156 @@
+package trickle
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+func newTrickle(t *testing.T, cfg Config) (*sim.Engine, *Trickle, *int) {
+	t.Helper()
+	eng := sim.New()
+	count := 0
+	trk, err := New(eng, rand.New(rand.NewSource(1)), cfg, func() { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, trk, &count
+}
+
+func TestFiresWithinFirstInterval(t *testing.T) {
+	eng, trk, count := newTrickle(t, Config{IMin: 2 * sim.Second, IMax: 60 * sim.Second, K: 1})
+	trk.Start()
+	eng.Run(2 * sim.Second)
+	if *count != 1 {
+		t.Fatalf("fired %d times in first interval, want 1", *count)
+	}
+}
+
+func TestIntervalDoublesToIMax(t *testing.T) {
+	eng, trk, _ := newTrickle(t, Config{IMin: 1 * sim.Second, IMax: 8 * sim.Second, K: 1})
+	trk.Start()
+	eng.Run(1 * sim.Second)
+	if trk.Interval() != 2*sim.Second {
+		t.Fatalf("after one interval: %v", trk.Interval())
+	}
+	eng.Run(3 * sim.Second)
+	if trk.Interval() != 4*sim.Second {
+		t.Fatalf("after two intervals: %v", trk.Interval())
+	}
+	eng.Run(100 * sim.Second)
+	if trk.Interval() != 8*sim.Second {
+		t.Fatalf("interval should cap at IMax: %v", trk.Interval())
+	}
+}
+
+func TestSuppressionWithK(t *testing.T) {
+	eng, trk, count := newTrickle(t, Config{IMin: 2 * sim.Second, IMax: 60 * sim.Second, K: 1})
+	trk.Start()
+	// Hear a consistent advertisement before the fire point of every
+	// interval: the node must stay silent.
+	for i := 0; i < 100; i++ {
+		eng.Schedule(sim.Time(i)*sim.Second, trk.HearConsistent)
+	}
+	eng.Run(90 * sim.Second)
+	if *count != 0 {
+		t.Fatalf("suppression failed: fired %d times", *count)
+	}
+}
+
+func TestInconsistencyResetsInterval(t *testing.T) {
+	eng, trk, _ := newTrickle(t, Config{IMin: 1 * sim.Second, IMax: 64 * sim.Second, K: 1})
+	trk.Start()
+	eng.Run(20 * sim.Second)
+	if trk.Interval() <= 1*sim.Second {
+		t.Fatal("interval should have grown")
+	}
+	var after sim.Time
+	eng.Schedule(0, func() {
+		trk.HearInconsistent()
+		after = trk.Interval()
+	})
+	eng.Run(21 * sim.Second)
+	if after != 1*sim.Second {
+		t.Fatalf("inconsistency did not reset interval: %v", after)
+	}
+}
+
+func TestHearInconsistentAtIMinNoReset(t *testing.T) {
+	eng, trk, count := newTrickle(t, Config{IMin: 2 * sim.Second, IMax: 60 * sim.Second, K: 1})
+	trk.Start()
+	// At IMin already: HearInconsistent must not restart the interval
+	// (which would starve the timer forever under constant inconsistency).
+	for i := 0; i < 2000; i++ {
+		eng.Schedule(sim.Time(i)*sim.Millisecond, trk.HearInconsistent)
+	}
+	eng.Run(2 * sim.Second)
+	if *count != 1 {
+		t.Fatalf("fired %d times, want 1", *count)
+	}
+}
+
+func TestStopSilences(t *testing.T) {
+	eng, trk, count := newTrickle(t, Config{IMin: 1 * sim.Second, IMax: 4 * sim.Second, K: 1})
+	trk.Start()
+	eng.Schedule(500*sim.Millisecond, trk.Stop)
+	eng.Run(30 * sim.Second)
+	if trk.Running() {
+		t.Fatal("still running after Stop")
+	}
+	if *count > 1 {
+		t.Fatalf("fired %d times after early stop", *count)
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	eng, trk, count := newTrickle(t, Config{IMin: 1 * sim.Second, IMax: 4 * sim.Second, K: 1})
+	trk.Start()
+	trk.Start()
+	eng.Run(1 * sim.Second)
+	if *count != 1 {
+		t.Fatalf("double Start duplicated timers: %d fires", *count)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{IMin: 0, IMax: 10, K: 1},
+		{IMin: 10, IMax: 5, K: 1},
+		{IMin: 1, IMax: 10, K: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.New()
+	if _, err := New(eng, nil, DefaultConfig(), func() {}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := New(eng, rand.New(rand.NewSource(1)), DefaultConfig(), nil); err == nil {
+		t.Fatal("nil transmit accepted")
+	}
+}
+
+func TestFirePointInSecondHalf(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		eng := sim.New()
+		var firedAt sim.Time = -1
+		trk, err := New(eng, rand.New(rand.NewSource(seed)), Config{IMin: 10 * sim.Second, IMax: 10 * sim.Second, K: 1}, func() { firedAt = eng.Now() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		trk.Start()
+		eng.Run(10 * sim.Second)
+		if firedAt < 5*sim.Second || firedAt >= 10*sim.Second {
+			t.Fatalf("seed %d: fired at %v, want within [5s, 10s)", seed, firedAt)
+		}
+	}
+}

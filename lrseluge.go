@@ -1,0 +1,228 @@
+// Package lrseluge is the public API of this repository: a from-scratch Go
+// implementation and evaluation harness for LR-Seluge — loss-resilient and
+// secure code dissemination in wireless sensor networks (Zhang & Zhang,
+// ICDCS 2011) — together with its baselines Deluge and Seluge, the discrete
+// event network simulator they run on, and the paper's full experiment
+// suite.
+//
+// # Quick start
+//
+//	res, err := lrseluge.Run(lrseluge.Scenario{
+//		Protocol:  lrseluge.LRSeluge,
+//		ImageSize: 20 * 1024,
+//		Receivers: 20,
+//		LossP:     0.1,
+//		Seed:      1,
+//	})
+//
+// runs a full authenticated dissemination of a 20 KB image to 20 one-hop
+// receivers with 10% packet loss and reports the paper's metrics (data,
+// SNACK and advertisement packets, total bytes, latency, security counters).
+//
+// # Structure
+//
+//   - Scenario/Run/RunAvg: end-to-end simulations (internal/experiment).
+//   - Fig3LossSweep .. MultiHopComparison: regenerate every figure and
+//     table of the paper's evaluation.
+//   - AttackResilience: the adversarial experiments backing the paper's
+//     security claims (§IV-E).
+//   - SelugeExpectedDataTx / ACKLRExpectedDataTx: the closed-form models of
+//     §V used by Fig. 3.
+//
+// The protocol implementations themselves live under internal/: the shared
+// MAINTAIN/RX/TX engine (internal/dissem), Deluge (internal/deluge), Seluge
+// (internal/seluge) and LR-Seluge (internal/core), on top of Reed-Solomon
+// erasure coding (internal/erasure), Merkle trees, truncated hash images,
+// message-specific puzzles (internal/crypt) and a deterministic
+// discrete-event radio simulation (internal/sim, internal/radio,
+// internal/topo).
+package lrseluge
+
+import (
+	"lrseluge/internal/analysis"
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/image"
+	"lrseluge/internal/radio"
+	"lrseluge/internal/sim"
+	"lrseluge/internal/topo"
+)
+
+// Protocol selects the dissemination scheme under test.
+type Protocol = experiment.Protocol
+
+// The three implemented protocols.
+const (
+	// Deluge is the non-secure ARQ baseline.
+	Deluge = experiment.Deluge
+	// Seluge is the secure ARQ baseline (immediate authentication, no
+	// loss resilience).
+	Seluge = experiment.Seluge
+	// LRSeluge is the paper's contribution: erasure-coded pages with
+	// immediate per-packet authentication.
+	LRSeluge = experiment.LRSeluge
+	// RatelessDeluge is the loss-resilient-but-insecure related-work
+	// baseline (LT-coded pages, no authentication).
+	RatelessDeluge = experiment.RatelessDeluge
+)
+
+// Params fixes the shared packet/coding geometry: payload bytes per packet,
+// k source blocks per page and n encoded packets per page.
+type Params = image.Params
+
+// DefaultParams returns the evaluation defaults (72 B payload, k=32, n=48).
+func DefaultParams() Params { return image.DefaultParams() }
+
+// Scenario describes one simulation run; zero-valued fields get paper
+// defaults (20 KB image, 20 receivers, one-hop complete topology).
+type Scenario = experiment.Scenario
+
+// Result carries the metrics the paper reports for one run.
+type Result = experiment.Result
+
+// AvgResult is a Result averaged over several seeds.
+type AvgResult = experiment.AvgResult
+
+// Run executes one scenario end to end and verifies that every completed
+// node reconstructed the exact image bytes.
+func Run(s Scenario) (Result, error) { return experiment.Run(s) }
+
+// RunAvg executes a scenario `runs` times under distinct seeds and averages
+// the metrics.
+func RunAvg(s Scenario, runs int) (AvgResult, error) { return experiment.RunAvg(s, runs) }
+
+// Time is the simulator's virtual time (nanoseconds).
+type Time = sim.Time
+
+// Topology constructors.
+
+// Graph is an immutable network topology; node 0 is the base station.
+type Graph = topo.Graph
+
+// GridDensity selects tight (high-density) or medium (low-density) grids.
+type GridDensity = topo.GridDensity
+
+// Grid densities mirroring the paper's two 15x15 mica2 topologies.
+const (
+	Tight  = topo.Tight
+	Medium = topo.Medium
+)
+
+// OneHop returns a fully-connected neighborhood of n nodes.
+func OneHop(n int) (*Graph, error) { return topo.Complete(n) }
+
+// Grid returns a rows x cols lattice at the given density.
+func Grid(rows, cols int, density GridDensity) (*Graph, error) {
+	return topo.Grid(rows, cols, density)
+}
+
+// RandomTopology scatters n nodes over a side x side square.
+func RandomTopology(n int, side float64, seed int64) (*Graph, error) {
+	return topo.RandomDisk(n, side, seed)
+}
+
+// LossModel decides per-delivery packet drops.
+type LossModel = radio.LossModel
+
+// BernoulliLoss drops every packet independently with probability P at each
+// receiver (the paper's one-hop loss emulation).
+func BernoulliLoss(p float64) LossModel { return radio.Bernoulli{P: p} }
+
+// HeavyNoise returns a bursty Gilbert-Elliott channel, the stand-in for the
+// paper's meyer-heavy.txt multi-hop noise trace.
+func HeavyNoise() LossModel { return radio.HeavyNoise() }
+
+// Closed-form models (paper §V).
+
+// SelugeExpectedDataTx returns the expected data-packet transmissions to
+// deliver one k-packet page to `receivers` one-hop neighbors under
+// per-packet loss p with Seluge's SNACK ARQ.
+func SelugeExpectedDataTx(k, receivers int, p float64) (float64, error) {
+	return analysis.SelugeDataTx(k, receivers, p)
+}
+
+// ACKLRExpectedDataTx returns the ACK-based LR-Seluge upper bound on
+// data-packet transmissions per page (rounds of n encoded packets until
+// every receiver holds k').
+func ACKLRExpectedDataTx(k, n, kprime, receivers int, p float64) (float64, error) {
+	return analysis.ACKBasedLRDataTx(k, n, kprime, receivers, p)
+}
+
+// Evaluation sweeps: one function per paper artifact.
+
+// Fig3Point is one x-position of Fig. 3.
+type Fig3Point = experiment.Fig3Point
+
+// ComparisonPoint is one x-position of Figs. 4-5.
+type ComparisonPoint = experiment.ComparisonPoint
+
+// RatePoint is one (n, p) cell of Fig. 6.
+type RatePoint = experiment.RatePoint
+
+// AttackReport summarizes the adversarial experiments.
+type AttackReport = experiment.AttackReport
+
+// Fig3LossSweep regenerates Fig. 3(a).
+func Fig3LossSweep(params Params, receivers int, ps []float64, runs int, seed int64) ([]Fig3Point, error) {
+	return experiment.Fig3LossSweep(params, receivers, ps, runs, seed)
+}
+
+// Fig3ReceiverSweep regenerates Fig. 3(b).
+func Fig3ReceiverSweep(params Params, ns []int, p float64, runs int, seed int64) ([]Fig3Point, error) {
+	return experiment.Fig3ReceiverSweep(params, ns, p, runs, seed)
+}
+
+// Fig4LossImpact regenerates Fig. 4(a)-(e).
+func Fig4LossImpact(params Params, imageSize, receivers int, ps []float64, runs int, seed int64) ([]ComparisonPoint, error) {
+	return experiment.Fig4LossImpact(params, imageSize, receivers, ps, runs, seed)
+}
+
+// Fig5DensityImpact regenerates Fig. 5(a)-(e).
+func Fig5DensityImpact(params Params, imageSize int, receivers []int, p float64, runs int, seed int64) ([]ComparisonPoint, error) {
+	return experiment.Fig5DensityImpact(params, imageSize, receivers, p, runs, seed)
+}
+
+// Fig6RateImpact regenerates Fig. 6(a)-(e).
+func Fig6RateImpact(payload, k, imageSize, receivers int, ns []int, ps []float64, runs int, seed int64) ([]RatePoint, error) {
+	return experiment.Fig6RateImpact(payload, k, imageSize, receivers, ns, ps, runs, seed)
+}
+
+// MultiHopComparison regenerates Tables II/III on a rows x cols grid.
+func MultiHopComparison(params Params, imageSize int, density GridDensity, rows, cols, runs int, seed int64) (seluge, lr AvgResult, err error) {
+	return experiment.MultiHopComparison(params, imageSize, density, rows, cols, runs, seed)
+}
+
+// AttackResilience runs the forged-data, signature-flood and
+// denial-of-receipt experiments against LR-Seluge.
+func AttackResilience(params Params, imageSize, receivers int, lossP float64, seed int64) (AttackReport, error) {
+	return experiment.AttackResilience(params, imageSize, receivers, lossP, seed)
+}
+
+// SchedPolicy selects LR-Seluge's transmission scheduling policy, for the
+// ablation of the paper's greedy round-robin scheduler.
+type SchedPolicy = experiment.LRPolicy
+
+// LR-Seluge scheduling policies.
+const (
+	// GreedyRR is the paper's greedy round-robin tracking-table scheduler.
+	GreedyRR = experiment.GreedyRR
+	// UnionBits is the Deluge/Seluge union-of-requests policy.
+	UnionBits = experiment.UnionBits
+	// FreshRR is the rateless-style fresh-packet policy.
+	FreshRR = experiment.FreshRR
+)
+
+// SchedulerAblationRun compares the three scheduling policies on the same
+// LR-Seluge scenario.
+func SchedulerAblationRun(params Params, imageSize, receivers int, p float64, runs int, seed int64) (map[SchedPolicy]AvgResult, error) {
+	return experiment.SchedulerAblation(params, imageSize, receivers, p, runs, seed)
+}
+
+// UpgradeResult reports a secure version-upgrade experiment.
+type UpgradeResult = experiment.UpgradeResult
+
+// VersionUpgrade disseminates version 1, then reprograms the whole network
+// to version 2: stale nodes discard state only after the newer version's
+// signature (bound through the puzzle key chain) verifies.
+func VersionUpgrade(params Params, imageSize, receivers int, lossP float64, seed int64) (UpgradeResult, error) {
+	return experiment.VersionUpgrade(params, imageSize, receivers, lossP, seed)
+}
