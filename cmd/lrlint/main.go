@@ -1,0 +1,81 @@
+// Command lrlint runs the repo's determinism and safety analyzer suite over
+// the module. It exits non-zero when any finding survives, making it
+// suitable as a CI gate:
+//
+//	go run ./cmd/lrlint ./...
+//
+// The argument may be ./... (whole module, the default) or a directory
+// inside the module; either way the whole module containing it is loaded so
+// cross-package types resolve. Rules and the //lrlint:ignore escape hatch
+// are documented in internal/lint.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lrseluge/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lrlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	dir := "."
+	for _, a := range args {
+		if a == "./..." || a == "" {
+			continue
+		}
+		dir = strings.TrimSuffix(a, "/...")
+	}
+	if dir != "." {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("%s is not a directory in this module", dir)
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return err
+	}
+	pkgs, modPath, err := lint.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	cfg := lint.DefaultConfig(modPath)
+	if wd, err := os.Getwd(); err == nil {
+		cfg.TrimPrefix = wd
+	}
+	diags := lint.Run(pkgs, cfg)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lrlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-
+	"lrseluge/internal/detmap"
 	"lrseluge/internal/dissem"
 	"lrseluge/internal/packet"
 )
@@ -146,12 +145,7 @@ func (p *FreshPolicy) lowestUnit() (int, *freshUnit, bool) {
 	if len(p.units) == 0 {
 		return 0, nil, false
 	}
-	keys := make([]int, 0, len(p.units))
-	for u := range p.units {
-		keys = append(keys, u)
-	}
-	sort.Ints(keys)
-	for _, u := range keys {
+	for _, u := range detmap.SortedKeys(p.units) {
 		if len(p.units[u].owed) > 0 {
 			return u, p.units[u], true
 		}

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-
+	"lrseluge/internal/detmap"
 	"lrseluge/internal/dissem"
 	"lrseluge/internal/packet"
 )
@@ -92,7 +91,8 @@ func (s *Scheduler) OnDataOverheard(u, idx int) {
 	if tbl == nil || idx < 0 || idx >= s.sizeOf(u) {
 		return
 	}
-	for id, e := range tbl.entries {
+	for _, id := range detmap.SortedKeys(tbl.entries) {
+		e := tbl.entries[id]
 		if e.bits.Get(idx) {
 			e.bits.Set(idx, false)
 			e.dist--
@@ -118,6 +118,9 @@ func (s *Scheduler) Next() (int, int, bool) {
 		n := s.sizeOf(u)
 		pop := make([]int, n)
 		maxPop := 0
+		// Integer popularity tallies commute, so entry order cannot leak
+		// into pop[]; sorting here would only cost the hot path.
+		//lrlint:ignore map-range per-index vote counts are order-insensitive integer sums
 		for _, e := range tbl.entries {
 			for j := 0; j < n; j++ {
 				if e.bits.Get(j) {
@@ -151,7 +154,8 @@ func (s *Scheduler) Next() (int, int, bool) {
 		}
 		// Update the table: clear column `choice`, decrement distances of
 		// the neighbors that wanted it, and drop satisfied entries.
-		for id, e := range tbl.entries {
+		for _, id := range detmap.SortedKeys(tbl.entries) {
+			e := tbl.entries[id]
 			if e.bits.Get(choice) {
 				e.bits.Set(choice, false)
 				e.dist--
@@ -205,9 +209,9 @@ func (s *Scheduler) Tracking(u int) (map[packet.NodeID]string, map[packet.NodeID
 	}
 	bits := make(map[packet.NodeID]string, len(tbl.entries))
 	dist := make(map[packet.NodeID]int, len(tbl.entries))
-	for id, e := range tbl.entries {
-		bits[id] = e.bits.String()
-		dist[id] = e.dist
+	for _, id := range detmap.SortedKeys(tbl.entries) {
+		bits[id] = tbl.entries[id].bits.String()
+		dist[id] = tbl.entries[id].dist
 	}
 	return bits, dist
 }
@@ -216,12 +220,7 @@ func (s *Scheduler) lowestUnit() (int, *trackTable, bool) {
 	if len(s.units) == 0 {
 		return 0, nil, false
 	}
-	keys := make([]int, 0, len(s.units))
-	for u := range s.units {
-		keys = append(keys, u)
-	}
-	sort.Ints(keys)
-	for _, u := range keys {
+	for _, u := range detmap.SortedKeys(s.units) {
 		if len(s.units[u].entries) > 0 {
 			return u, s.units[u], true
 		}

@@ -23,9 +23,13 @@ import (
 // format pads to this fixed size so packet accounting is deterministic.
 const SignatureSize = 73
 
-// KeyPair is the base station's signing identity.
+// KeyPair is the base station's signing identity. Pairs created by
+// GenerateDeterministic sign with a deterministic nonce so identical runs
+// produce byte-identical signature packets; pairs from Generate use the
+// standard randomized nonce.
 type KeyPair struct {
 	priv *ecdsa.PrivateKey
+	det  bool
 }
 
 // PublicKey is the verification half, preloaded on every sensor node.
@@ -64,16 +68,25 @@ func GenerateDeterministic(seed int64) (*KeyPair, error) {
 		D:         d,
 	}
 	priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(d.Bytes())
-	return &KeyPair{priv: priv}, nil
+	return &KeyPair{priv: priv, det: true}, nil
 }
 
 // Public returns the verification key.
 func (kp *KeyPair) Public() PublicKey { return PublicKey{key: &kp.priv.PublicKey} }
 
-// Sign produces a fixed-size signature over SHA-256(msg).
+// Sign produces a fixed-size signature over SHA-256(msg). Deterministic key
+// pairs yield the same signature for the same message every time (the ECDSA
+// nonce is derived from key and digest, RFC 6979 style); randomized pairs
+// draw the nonce from crypto/rand.
 func (kp *KeyPair) Sign(msg []byte) ([]byte, error) {
 	digest := sha256.Sum256(msg)
-	sig, err := ecdsa.SignASN1(rand.Reader, kp.priv, digest[:])
+	var sig []byte
+	var err error
+	if kp.det {
+		sig, err = signDeterministic(kp.priv, digest[:])
+	} else {
+		sig, err = ecdsa.SignASN1(rand.Reader, kp.priv, digest[:])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sign: %w", err)
 	}
@@ -101,3 +114,59 @@ func (pk PublicKey) Verify(msg, sig []byte) bool {
 
 // Valid reports whether the key is usable (non-zero).
 func (pk PublicKey) Valid() bool { return pk.key != nil }
+
+// signDeterministic computes a textbook ECDSA signature with a nonce
+// derived from the private scalar and the message digest (the construction
+// RFC 6979 standardizes, with a single SHA-256 in place of HMAC-DRBG). The
+// crypto/ecdsa API offers no nonce control — ecdsa.SignASN1 always folds in
+// fresh entropy, which made every run's signature packets differ and broke
+// trace-level reproducibility. Like GenerateDeterministic, this is for
+// simulation identities only: the scalar arithmetic is not constant-time.
+func signDeterministic(priv *ecdsa.PrivateKey, digest []byte) ([]byte, error) {
+	curve := priv.Curve
+	n := curve.Params().N
+	one := big.NewInt(1)
+	nMinus1 := new(big.Int).Sub(n, one)
+
+	h := sha256.New()
+	h.Write([]byte("lrseluge-deterministic-nonce"))
+	h.Write(priv.D.Bytes())
+	h.Write(digest)
+	k := new(big.Int).SetBytes(h.Sum(nil))
+	k.Mod(k, nMinus1).Add(k, one) // k in [1, n-1]
+
+	z := new(big.Int).SetBytes(digest) // SHA-256 matches the P-256 order size
+	for {
+		x, _ := curve.ScalarBaseMult(k.Bytes())
+		r := new(big.Int).Mod(x, n)
+		if r.Sign() != 0 {
+			s := new(big.Int).Mul(r, priv.D)
+			s.Add(s, z)
+			s.Mul(s, new(big.Int).ModInverse(k, n))
+			s.Mod(s, n)
+			if s.Sign() != 0 {
+				return encodeASN1Signature(r, s), nil
+			}
+		}
+		// Degenerate r or s: step the nonce (probability ~2^-256).
+		k.Sub(k, one).Mod(k, nMinus1).Add(k, one)
+	}
+}
+
+// encodeASN1Signature renders SEQUENCE { INTEGER r, INTEGER s } in DER, the
+// format ecdsa.VerifyASN1 consumes. P-256 bodies stay under 128 bytes, so
+// single-byte lengths suffice.
+func encodeASN1Signature(r, s *big.Int) []byte {
+	derInt := func(v *big.Int) []byte {
+		b := v.Bytes()
+		if len(b) == 0 {
+			b = []byte{0}
+		}
+		if b[0]&0x80 != 0 {
+			b = append([]byte{0}, b...) // keep the INTEGER positive
+		}
+		return append([]byte{0x02, byte(len(b))}, b...)
+	}
+	body := append(derInt(r), derInt(s)...)
+	return append([]byte{0x30, byte(len(body))}, body...)
+}

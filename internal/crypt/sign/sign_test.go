@@ -114,3 +114,51 @@ func TestSignaturesPadDeterministically(t *testing.T) {
 		}
 	}
 }
+
+func TestDeterministicKeySignsReproducibly(t *testing.T) {
+	kp, err := GenerateDeterministic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("merkle root under test")
+	sig1, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sig1, sig2) {
+		t.Error("deterministic key produced differing signatures for the same message")
+	}
+	if !kp.Public().Verify(msg, sig1) {
+		t.Error("deterministic signature failed standard verification")
+	}
+	if kp.Public().Verify([]byte("other message"), sig1) {
+		t.Error("signature verified against wrong message")
+	}
+	// Distinct messages must not reuse the nonce-derived r component.
+	sig3, err := kp.Sign([]byte("a different root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sig1[:20], sig3[:20]) {
+		t.Error("signatures over distinct messages share a prefix; nonce may be reused")
+	}
+}
+
+func TestRandomizedKeyStillVerifies(t *testing.T) {
+	kp, err := Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("randomized path")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Public().Verify(msg, sig) {
+		t.Error("randomized signature failed verification")
+	}
+}

@@ -1,0 +1,34 @@
+package detmap
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSortedKeysInts(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	for i := 0; i < 50; i++ {
+		got := SortedKeys(m)
+		if !slices.Equal(got, []int{1, 2, 3, 4, 5}) {
+			t.Fatalf("run %d: got %v", i, got)
+		}
+	}
+}
+
+func TestSortedKeysNamedKeyType(t *testing.T) {
+	type id uint16
+	m := map[id]int{7: 0, 0: 0, 65535: 0}
+	if got := SortedKeys(m); !slices.Equal(got, []id{0, 7, 65535}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortedKeysEmptyAndNil(t *testing.T) {
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Fatalf("empty map: got %v", got)
+	}
+	var m map[string]int
+	if got := SortedKeys(m); len(got) != 0 {
+		t.Fatalf("nil map: got %v", got)
+	}
+}

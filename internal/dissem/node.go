@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lrseluge/internal/detmap"
 	"lrseluge/internal/metrics"
 	"lrseluge/internal/packet"
 	"lrseluge/internal/radio"
@@ -379,9 +380,11 @@ func (n *Node) sendSNACK() {
 	mine := n.handler.CompleteUnits()
 	// Pick a server that advertises more units than we have, uniformly at
 	// random for load spreading.
+	// Walking the server map in sorted-ID order keeps the candidate list,
+	// and therefore the rng draw below, identical across runs.
 	candidates := make([]packet.NodeID, 0, len(n.servers))
-	for id, units := range n.servers {
-		if units > mine {
+	for _, id := range detmap.SortedKeys(n.servers) {
+		if n.servers[id] > mine {
 			candidates = append(candidates, id)
 		}
 	}
@@ -395,8 +398,7 @@ func (n *Node) sendSNACK() {
 	if n.hasAdvertiser && n.servers[n.lastAdvertiser] > mine {
 		server = n.lastAdvertiser
 	} else {
-		sorted := sortIDs(candidates)
-		server = sorted[n.rng.Intn(len(sorted))]
+		server = candidates[n.rng.Intn(len(candidates))]
 	}
 
 	unit := mine
@@ -541,14 +543,4 @@ func (n *Node) txStep() {
 		n.nw.Broadcast(n.id, pkts[0])
 	}
 	n.scheduleTxStep()
-}
-
-func sortIDs(ids []packet.NodeID) []packet.NodeID {
-	out := append([]packet.NodeID(nil), ids...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

@@ -1,6 +1,7 @@
 package dissem
 
 import (
+	"lrseluge/internal/detmap"
 	"lrseluge/internal/packet"
 )
 
@@ -84,14 +85,10 @@ func (p *UnionPolicy) DropRequester(packet.NodeID) {}
 func (p *UnionPolicy) Reset() { p.units = make(map[int]packet.BitVector) }
 
 func (p *UnionPolicy) lowestPendingUnit() (int, bool) {
-	best, found := 0, false
-	for u, bits := range p.units {
-		if !bits.Any() {
-			continue
-		}
-		if !found || u < best {
-			best, found = u, true
+	for _, u := range detmap.SortedKeys(p.units) {
+		if p.units[u].Any() {
+			return u, true
 		}
 	}
-	return best, found
+	return 0, false
 }

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hashIface is a structural copy of hash.Hash, synthesized so the pass can
+// exempt its implementations without importing the hash package into every
+// analyzed fixture: hash.Hash.Write is documented to never return an error,
+// so dropping it is the universal Go idiom rather than a swallowed failure.
+var hashIface = makeHashIface()
+
+func makeHashIface() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	intType := types.Typ[types.Int]
+	param := func(t types.Type) *types.Var { return types.NewVar(token.NoPos, nil, "", t) }
+	sig := func(params, results []*types.Var) *types.Signature {
+		return types.NewSignatureType(nil, nil, nil, types.NewTuple(params...), types.NewTuple(results...), false)
+	}
+	methods := []*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig([]*types.Var{param(byteSlice)}, []*types.Var{param(intType), param(errType)})),
+		types.NewFunc(token.NoPos, nil, "Sum", sig([]*types.Var{param(byteSlice)}, []*types.Var{param(byteSlice)})),
+		types.NewFunc(token.NoPos, nil, "Reset", sig(nil, nil)),
+		types.NewFunc(token.NoPos, nil, "Size", sig(nil, []*types.Var{param(intType)})),
+		types.NewFunc(token.NoPos, nil, "BlockSize", sig(nil, []*types.Var{param(intType)})),
+	}
+	iface := types.NewInterfaceType(methods, nil)
+	iface.Complete()
+	return iface
+}
+
+// checkErrors implements the unchecked-errors pass: in error-critical
+// packages, a call whose error result is discarded — as a bare expression
+// statement, via go/defer, or assigned to the blank identifier — is a
+// finding. Here a swallowed error means a forged or corrupt packet is
+// silently accepted as valid.
+func checkErrors(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr, how string) {
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: RuleErrcheck,
+			Msg:  "error result of " + callName(call) + " is " + how + "; a dropped error here accepts forged or corrupt data",
+		})
+	}
+	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && returnsError(pkg, call) && !exemptCall(pkg, call) {
+				flag(call, "discarded")
+			}
+		case *ast.GoStmt:
+			if returnsError(pkg, s.Call) && !exemptCall(pkg, s.Call) {
+				flag(s.Call, "discarded")
+			}
+		case *ast.DeferStmt:
+			if returnsError(pkg, s.Call) && !exemptCall(pkg, s.Call) {
+				flag(s.Call, "discarded")
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || exemptCall(pkg, call) {
+				return true
+			}
+			res := resultTuple(pkg, call)
+			if res == nil || len(s.Lhs) != res.Len() {
+				return true
+			}
+			for i := 0; i < res.Len(); i++ {
+				if !isErrorType(res.At(i).Type()) {
+					continue
+				}
+				if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					flag(call, "assigned to _")
+					break
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// callName renders a compact name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// resultTuple returns the call's result tuple, or nil for conversions,
+// builtins, and untyped expressions.
+func resultTuple(pkg *Package, call *ast.CallExpr) *types.Tuple {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	res := resultTuple(pkg, call)
+	if res == nil {
+		return false
+	}
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCall reports whether the call is a method on a hash.Hash
+// implementation, whose Write contract guarantees a nil error.
+func exemptCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	return types.Implements(recv, hashIface) ||
+		types.Implements(types.NewPointer(recv), hashIface)
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandAllowed are the package-level math/rand functions that do NOT
+// draw from the process-global source: constructors for explicitly seeded
+// streams. Everything else at package level (rand.Intn, rand.Float64,
+// rand.Shuffle, rand.Perm, ...) consumes the global source, whose state is
+// shared across the process and seeded differently every run.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes a *Rand argument; no global state
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// checkGlobalRand implements the no-global-rand pass: any reference to a
+// package-level math/rand (or math/rand/v2) function outside the allowed
+// constructor set is a finding. Method calls on an explicit *rand.Rand are
+// untouched.
+func checkGlobalRand(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		path := obj.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		// Methods (receiver non-nil) operate on an explicit stream.
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		if globalRandAllowed[obj.Name()] {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(sel.Pos()),
+			Rule: RuleGlobalRand,
+			Msg:  "rand." + obj.Name() + " uses the process-global source; thread an explicitly seeded rand.New(rand.NewSource(seed)) stream instead",
+		})
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,240 @@
+// Package lint implements lrlint, a from-scratch static-analysis suite that
+// machine-checks the determinism and safety invariants the simulator's
+// reproducibility claims rest on. It is built only on the standard library
+// (go/ast, go/parser, go/token, go/types) per the repo's stdlib-only rule.
+//
+// Four analyzer passes run over every non-test file of the module:
+//
+//   - no-wallclock: internal/ packages must never consult the wall clock
+//     (time.Now, time.Sleep, time.After, time.Tick, timers). Protocol code
+//     runs on virtual sim.Time only; a single wall-clock read would tie run
+//     results to the host machine.
+//
+//   - no-global-rand: the process-global math/rand source (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...) is forbidden everywhere. All
+//     randomness must flow from explicitly seeded rand.New(rand.NewSource(s))
+//     streams so a scenario seed pins every random draw.
+//
+//   - map-range-determinism: packages that schedule events or emit packets
+//     must not iterate Go maps directly — iteration order is randomized by
+//     the runtime. Loops are accepted only when a conservative structural
+//     analysis proves the body order-insensitive, or when the site carries an
+//     explicit justified directive. The blessed fix is
+//     detmap.SortedKeys (internal/detmap).
+//
+//   - unchecked-errors: in internal/crypt/... and internal/erasure/... a
+//     dropped error return means silently accepting a forged or corrupt
+//     packet, so every error must be consumed. Methods on values
+//     implementing hash.Hash are exempt (Write is specified to never return
+//     an error).
+//
+// A finding may be suppressed with a directive on the same line or the line
+// immediately above:
+//
+//	//lrlint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding as "file:line:col rule: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Rule names, used in output and in //lrlint:ignore directives.
+const (
+	RuleWallclock  = "no-wallclock"
+	RuleGlobalRand = "no-global-rand"
+	RuleMapRange   = "map-range"
+	RuleErrcheck   = "unchecked-error"
+	RuleDirective  = "directive"
+)
+
+// Config scopes the passes to package trees. Paths are module-relative
+// prefixes: an entry "internal/core" covers the package at that path and
+// everything below it.
+type Config struct {
+	// ModulePath is the module's import-path prefix (from go.mod).
+	ModulePath string
+	// OrderedPackages lists the packages whose event scheduling or packet
+	// emission makes map-iteration order observable; map-range-determinism
+	// applies there.
+	OrderedPackages []string
+	// ErrorCriticalPackages lists the packages where a swallowed error means
+	// accepting forged or corrupt data; unchecked-errors applies there.
+	ErrorCriticalPackages []string
+	// TrimPrefix, when non-empty, is stripped from diagnostic file names so
+	// output and golden files are stable across checkouts.
+	TrimPrefix string
+}
+
+// DefaultConfig returns the repo's production scoping: the seven packages
+// that schedule events or emit packets, and the crypto/erasure trees.
+func DefaultConfig(modulePath string) Config {
+	return Config{
+		ModulePath: modulePath,
+		OrderedPackages: []string{
+			"internal/sim",
+			"internal/core",
+			"internal/dissem",
+			"internal/deluge",
+			"internal/seluge",
+			"internal/radio",
+			"internal/trickle",
+		},
+		ErrorCriticalPackages: []string{
+			"internal/crypt",
+			"internal/erasure",
+		},
+	}
+}
+
+// inScope reports whether the package import path falls under one of the
+// module-relative prefixes.
+func (c Config) inScope(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		full := c.ModulePath + "/" + p
+		if pkgPath == full || strings.HasPrefix(pkgPath, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isInternal reports whether the package lives under an internal/ tree.
+func isInternal(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") || strings.HasSuffix(pkgPath, "/internal")
+}
+
+// Run applies every pass to every package and returns the surviving
+// findings sorted by position. Directive-suppressed findings are removed;
+// malformed directives are reported.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg)
+		var raw []Diagnostic
+		if isInternal(pkg.ImportPath) {
+			raw = append(raw, checkWallclock(pkg)...)
+		}
+		raw = append(raw, checkGlobalRand(pkg)...)
+		if cfg.inScope(pkg.ImportPath, cfg.OrderedPackages) {
+			raw = append(raw, checkMapRange(pkg)...)
+		}
+		if cfg.inScope(pkg.ImportPath, cfg.ErrorCriticalPackages) {
+			raw = append(raw, checkErrors(pkg)...)
+		}
+		for _, d := range raw {
+			if !dirs.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+		diags = append(diags, bad...)
+	}
+	for i := range diags {
+		if cfg.TrimPrefix != "" {
+			if rel, err := filepath.Rel(cfg.TrimPrefix, diags[i].Pos.Filename); err == nil {
+				diags[i].Pos.Filename = rel
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// directive is one parsed //lrlint:ignore comment.
+type directive struct {
+	rule string
+}
+
+// directiveIndex maps file -> line -> directives in force on that line.
+type directiveIndex map[string]map[int][]directive
+
+// suppresses reports whether a directive for the finding's rule sits on the
+// finding's line or the line immediately above it.
+func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[ln] {
+			if dir.rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//lrlint:ignore"
+
+// collectDirectives scans every comment in the package for lrlint
+// directives, returning the index plus findings for malformed ones.
+func collectDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
+	idx := make(directiveIndex)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  "malformed directive: want //lrlint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], directive{rule: fields[0]})
+			}
+		}
+	}
+	return idx, bad
+}
+
+// walkNonTest visits every AST node of the package's (non-test) files.
+func walkNonTest(pkg *Package, visit func(f *ast.File, n ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return visit(f, n)
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden expect.txt files")
+
+// fixtureCases maps each fixture package to the import path it is loaded
+// under; the path places it inside the pretend module "fix" so the
+// production scoping of DefaultConfig applies (or deliberately does not).
+var fixtureCases = []struct {
+	dir        string
+	importPath string
+}{
+	{"wallclock_bad", "fix/internal/wallclock_bad"},
+	{"wallclock_clean", "fix/internal/wallclock_clean"},
+	{"globalrand_bad", "fix/globalrand_bad"},
+	{"globalrand_clean", "fix/globalrand_clean"},
+	{"maprange_bad", "fix/internal/core/maprange_bad"},
+	{"maprange_clean", "fix/internal/core/maprange_clean"},
+	{"errcheck_bad", "fix/internal/crypt/errcheck_bad"},
+	{"errcheck_clean", "fix/internal/crypt/errcheck_clean"},
+}
+
+// TestFixtures runs the full pass suite over each fixture package and
+// compares the rendered diagnostics against the package's golden
+// expect.txt. Regenerate with: go test ./internal/lint -run Fixtures -update
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			absDir, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			cfg := DefaultConfig("fix")
+			cfg.TrimPrefix = absDir
+			var sb strings.Builder
+			for _, d := range Run([]*Package{pkg}, cfg) {
+				sb.WriteString(d.String())
+				sb.WriteByte('\n')
+			}
+			got := sb.String()
+
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if want := string(wantBytes); got != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if strings.HasSuffix(tc.dir, "_bad") && got == "" {
+				t.Error("bad fixture produced no findings")
+			}
+			if strings.HasSuffix(tc.dir, "_clean") && got != "" {
+				t.Errorf("clean fixture produced findings:\n%s", got)
+			}
+		})
+	}
+}
+
+// TestRealModuleClean asserts the invariant the whole PR enforces: lrlint
+// runs clean on the repository itself.
+func TestRealModuleClean(t *testing.T) {
+	pkgs, modPath, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, DefaultConfig(modPath)) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestDirectiveSuppression pins the directive semantics: same line or the
+// line immediately above, with rule match required.
+func TestDirectiveSuppression(t *testing.T) {
+	idx := directiveIndex{
+		"f.go": {10: []directive{{rule: RuleMapRange}}},
+	}
+	mk := func(line int, rule string) Diagnostic {
+		d := Diagnostic{Rule: rule}
+		d.Pos.Filename = "f.go"
+		d.Pos.Line = line
+		return d
+	}
+	if !idx.suppresses(mk(10, RuleMapRange)) {
+		t.Error("same-line directive did not suppress")
+	}
+	if !idx.suppresses(mk(11, RuleMapRange)) {
+		t.Error("line-above directive did not suppress")
+	}
+	if idx.suppresses(mk(12, RuleMapRange)) {
+		t.Error("directive suppressed two lines below")
+	}
+	if idx.suppresses(mk(10, RuleErrcheck)) {
+		t.Error("directive suppressed a different rule")
+	}
+}

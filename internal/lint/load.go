@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (*_test.go) are excluded: every lrlint rule scopes to
+// non-test code, and tests legitimately use wall-clock timeouts and ad-hoc
+// randomness.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// loader type-checks module packages in dependency order. Imports outside
+// the module (the standard library) are resolved from source via
+// go/importer's "source" compiler, keeping the tool free of external
+// dependencies and of compiled export data.
+type loader struct {
+	fset    *token.FileSet
+	ext     types.Importer
+	modPath string
+	modRoot string
+	srcs    map[string]*pkgSrc  // parsed but not yet checked, by import path
+	pkgs    map[string]*Package // checked, by import path
+	loading map[string]bool     // cycle guard
+	typeErr []error
+}
+
+type pkgSrc struct {
+	dir   string
+	files []*ast.File
+}
+
+// LoadModule parses and type-checks every non-test package under the module
+// rooted at dir (the directory containing go.mod). Packages are returned
+// sorted by import path.
+func LoadModule(root string) ([]*Package, string, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, "", err
+	}
+	modPath, err := modulePath(filepath.Join(absRoot, "go.mod"))
+	if err != nil {
+		return nil, "", err
+	}
+	ld := newLoader(modPath, absRoot)
+	if err := ld.discover(); err != nil {
+		return nil, "", err
+	}
+	paths := make([]string, 0, len(ld.srcs))
+	for p := range ld.srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, pkg)
+	}
+	if len(ld.typeErr) > 0 {
+		return nil, "", fmt.Errorf("lint: type errors in module: %w", errors.Join(ld.typeErr...))
+	}
+	return out, modPath, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path, which controls rule scoping. It is used by fixture tests to
+// place a directory anywhere in a pretend module layout.
+func LoadDir(dir, importPath string) (*Package, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(importPath, absDir)
+	files, err := ld.parseDir(absDir)
+	if err != nil {
+		return nil, err
+	}
+	ld.srcs[importPath] = &pkgSrc{dir: absDir, files: files}
+	pkg, err := ld.check(importPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(ld.typeErr) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %w", dir, errors.Join(ld.typeErr...))
+	}
+	return pkg, nil
+}
+
+func newLoader(modPath, modRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		ext:     importer.ForCompiler(fset, "source", nil),
+		modPath: modPath,
+		modRoot: modRoot,
+		srcs:    make(map[string]*pkgSrc),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot read %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// discover walks the module tree, parsing every package directory. testdata,
+// vendor, and hidden directories are skipped, as is anything that is not a
+// non-test .go file.
+func (ld *loader) discover() error {
+	return filepath.WalkDir(ld.modRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.modRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := ld.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(ld.modRoot, path)
+		if err != nil {
+			return err
+		}
+		ip := ld.modPath
+		if rel != "." {
+			ip = ld.modPath + "/" + filepath.ToSlash(rel)
+		}
+		ld.srcs[ip] = &pkgSrc{dir: path, files: files}
+		return nil
+	})
+}
+
+// parseDir parses the non-test .go files of one directory.
+func (ld *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one discovered package (and, recursively, its
+// intra-module dependencies).
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	src, ok := ld.srcs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not found in module %s", path, ld.modPath)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:                 ld,
+		Sizes:                    types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+		Error: func(err error) {
+			if len(ld.typeErr) < 20 {
+				ld.typeErr = append(ld.typeErr, err)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, ld.fset, src.files, info)
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        src.dir,
+		Fset:       ld.fset,
+		Files:      src.files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: intra-module imports resolve through the
+// loader's own cache; everything else falls through to the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.ext.Import(path)
+}

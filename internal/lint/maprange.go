@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkMapRange implements the map-range-determinism pass. In packages that
+// schedule events or emit packets, `for ... range m` over a map is flagged
+// unless orderInsensitive proves the loop body commutes across iteration
+// orders. The blessed fixes are iterating detmap.SortedKeys(m) or, for
+// loops whose insensitivity exceeds the structural analysis, an explicit
+// //lrlint:ignore map-range <reason> directive.
+func checkMapRange(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderInsensitive(rs, pkg.Info) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(rs.Pos()),
+			Rule: RuleMapRange,
+			Msg:  "map iteration order is randomized; iterate detmap.SortedKeys or justify with //lrlint:ignore map-range <reason>",
+		})
+		return true
+	})
+	return diags
+}
+
+// orderInsensitive reports whether the final program state after running the
+// loop body once per map entry is provably independent of entry order. The
+// analysis is deliberately conservative: it accepts only a small grammar of
+// commutative statements —
+//
+//   - delete(m, k), as long as m is not the ranged map itself or k is
+//     exactly the loop key (deleting other keys of the ranged map changes
+//     which entries the range produces);
+//   - integer accumulation: ++/-- and the commutative-and-associative
+//     op-assignments += -= |= &= ^= on integer lvalues (float addition is
+//     not associative and is rejected);
+//   - writes keyed by the loop key: m2[k] = pureExpr and slice[k] = pureExpr
+//     hit a distinct location per iteration;
+//   - writes to variables declared inside the loop body (fresh per
+//     iteration);
+//   - `return` of constants only (existence checks like `return true`);
+//   - `continue`, `if` with pure conditions, and nested loops over non-map
+//     operands whose bodies satisfy the same rules.
+//
+// Any function or method call other than the builtins len/cap/min/max,
+// delete, or a type conversion defeats the analysis: calls may observe
+// global state, so ordering could be visible through them.
+func orderInsensitive(rs *ast.RangeStmt, info *types.Info) bool {
+	a := &orderAnalysis{
+		info:      info,
+		rangedMap: types.ExprString(rs.X),
+		keyObj:    rangeVarObj(rs.Key, info),
+		bodyPos:   rs.Body.Pos(),
+		bodyEnd:   rs.Body.End(),
+	}
+	return a.stmtOK(rs.Body)
+}
+
+type orderAnalysis struct {
+	info      *types.Info
+	rangedMap string // types.ExprString of the ranged operand
+	keyObj    types.Object
+	bodyPos   token.Pos
+	bodyEnd   token.Pos
+}
+
+// rangeVarObj resolves the object bound by a range clause variable.
+func rangeVarObj(e ast.Expr, info *types.Info) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func (a *orderAnalysis) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !a.stmtOK(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		return a.stmtOK(s.Init) && a.pureExpr(s.Cond) && a.stmtOK(s.Body) && a.stmtOK(s.Else)
+	case *ast.ExprStmt:
+		return a.deleteCallOK(s.X)
+	case *ast.IncDecStmt:
+		return a.integerLvalue(s.X) && a.commutativeTarget(s.X)
+	case *ast.AssignStmt:
+		return a.assignOK(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !a.pureExpr(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			tv, ok := a.info.Types[r]
+			if !ok || tv.Value == nil {
+				return false // non-constant result leaks iteration order
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/goto make how much of the map gets processed depend on
+		// order; continue merely skips one independent iteration.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.RangeStmt:
+		t := a.info.TypeOf(s.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return false // nested map range is its own finding
+		}
+		return a.pureExpr(s.X) && a.stmtOK(s.Body)
+	case *ast.ForStmt:
+		return a.stmtOK(s.Init) && (s.Cond == nil || a.pureExpr(s.Cond)) && a.stmtOK(s.Post) && a.stmtOK(s.Body)
+	default:
+		return false
+	}
+}
+
+// assignOK accepts commutative integer op-assignments and plain writes whose
+// targets are per-iteration distinct (keyed by the loop key or declared
+// inside the body).
+func (a *orderAnalysis) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !a.integerLvalue(lhs) || !a.commutativeTarget(lhs) {
+				return false
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for _, lhs := range s.Lhs {
+			if !a.distinctTarget(lhs, s.Tok) {
+				return false
+			}
+		}
+	default:
+		return false
+	}
+	for _, rhs := range s.Rhs {
+		if !a.pureExpr(rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeTarget accepts lvalues whose accumulation commutes: any
+// variable or field, or an index expression with pure parts. Touching the
+// ranged map itself is allowed only at the current key — updating other
+// entries mid-iteration is visible to iterations that read them.
+func (a *orderAnalysis) commutativeTarget(lhs ast.Expr) bool {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		return l.Name != "_"
+	case *ast.SelectorExpr:
+		return a.pureExpr(l)
+	case *ast.IndexExpr:
+		return a.pureExpr(l) && a.rangedMapIndexOK(l)
+	default:
+		return false
+	}
+}
+
+// rangedMapIndexOK reports whether an index expression either leaves the
+// ranged map alone or addresses exactly the current key.
+func (a *orderAnalysis) rangedMapIndexOK(l *ast.IndexExpr) bool {
+	if types.ExprString(l.X) != a.rangedMap {
+		return true
+	}
+	keyID, ok := l.Index.(*ast.Ident)
+	return ok && a.keyObj != nil && a.info.Uses[keyID] == a.keyObj
+}
+
+// distinctTarget accepts plain-assignment targets that touch a distinct
+// location each iteration: blanks, body-local variables, and container
+// writes indexed by the loop key.
+func (a *orderAnalysis) distinctTarget(lhs ast.Expr, tok token.Token) bool {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return true
+		}
+		if tok == token.DEFINE {
+			if obj := a.info.Defs[l]; obj != nil {
+				return true // fresh per-iteration binding
+			}
+		}
+		obj := a.info.Uses[l]
+		if obj == nil {
+			obj = a.info.Defs[l]
+		}
+		return obj != nil && obj.Pos() >= a.bodyPos && obj.Pos() < a.bodyEnd
+	case *ast.IndexExpr:
+		if !a.pureExpr(l.X) || !a.pureExpr(l.Index) {
+			return false
+		}
+		return a.rangedMapIndexOK(l) && a.mentionsKey(l.Index)
+	default:
+		return false
+	}
+}
+
+// mentionsKey reports whether the expression references the loop key
+// variable, making container writes land on per-iteration distinct keys.
+func (a *orderAnalysis) mentionsKey(e ast.Expr) bool {
+	if a.keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && a.info.Uses[id] == a.keyObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// integerLvalue reports whether the expression has integer type (the only
+// type whose + and ^ accumulations are associative and commutative exactly).
+func (a *orderAnalysis) integerLvalue(e ast.Expr) bool {
+	t := a.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// deleteCallOK accepts the builtin delete, guarding against deleting keys
+// other than the current one from the ranged map.
+func (a *orderAnalysis) deleteCallOK(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := a.info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "delete" {
+		return false
+	}
+	if len(call.Args) != 2 || !a.pureExpr(call.Args[0]) || !a.pureExpr(call.Args[1]) {
+		return false
+	}
+	if types.ExprString(call.Args[0]) == a.rangedMap {
+		keyID, ok := call.Args[1].(*ast.Ident)
+		if !ok || a.keyObj == nil || a.info.Uses[keyID] != a.keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether evaluating the expression cannot observe or
+// mutate state outside the loop iteration: no calls except len/cap/min/max
+// and type conversions.
+func (a *orderAnalysis) pureExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return a.pureExpr(e.X)
+	case *ast.SelectorExpr:
+		return a.pureExpr(e.X)
+	case *ast.IndexExpr:
+		return a.pureExpr(e.X) && a.pureExpr(e.Index)
+	case *ast.SliceExpr:
+		return a.pureExpr(e.X) && a.pureExpr(e.Low) && a.pureExpr(e.High) && a.pureExpr(e.Max)
+	case *ast.StarExpr:
+		return a.pureExpr(e.X)
+	case *ast.UnaryExpr:
+		return a.pureExpr(e.X)
+	case *ast.BinaryExpr:
+		return a.pureExpr(e.X) && a.pureExpr(e.Y)
+	case *ast.TypeAssertExpr:
+		return e.Type != nil && a.pureExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if !a.pureExpr(el) {
+				return false
+			}
+		}
+		return true
+	case *ast.KeyValueExpr:
+		return a.pureExpr(e.Key) && a.pureExpr(e.Value)
+	case *ast.CallExpr:
+		if tv, ok := a.info.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && a.pureExpr(e.Args[0]) // conversion
+		}
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if _, isBuiltin := a.info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		switch id.Name {
+		case "len", "cap", "min", "max":
+		default:
+			return false
+		}
+		for _, arg := range e.Args {
+			if !a.pureExpr(arg) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

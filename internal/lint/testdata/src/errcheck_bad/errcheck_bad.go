@@ -1,0 +1,20 @@
+// Package errcheck_bad seeds unchecked-error violations: every dropped
+// error below would silently accept forged or corrupt data.
+package errcheck_bad
+
+import "errors"
+
+var errForged = errors.New("forged packet")
+
+func verify() error { return errForged }
+
+func decode() (int, error) { return 0, errForged }
+
+// Violations drops errors four different ways.
+func Violations() int {
+	verify()
+	n, _ := decode()
+	defer verify()
+	go verify()
+	return n
+}

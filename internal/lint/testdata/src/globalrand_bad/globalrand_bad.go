@@ -1,0 +1,16 @@
+// Package globalrand_bad seeds no-global-rand violations for the lrlint
+// fixture tests: every draw below consumes the process-global source.
+package globalrand_bad
+
+import "math/rand"
+
+// Violations draws from the global math/rand source four ways.
+func Violations() float64 {
+	n := rand.Intn(10)
+	f := rand.Float64()
+	rand.Shuffle(n, func(i, j int) {})
+	return f + float64(rand.Int63())
+}
+
+// FuncValue leaks a global-source function as a value.
+var FuncValue = rand.Perm

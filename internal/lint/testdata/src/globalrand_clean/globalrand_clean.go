@@ -1,0 +1,18 @@
+// Package globalrand_clean threads an explicitly seeded stream, the pattern
+// the no-global-rand pass requires.
+package globalrand_clean
+
+import "math/rand"
+
+// Draw samples from a stream fully determined by seed.
+func Draw(seed int64) (int, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10), rng.Float64()
+}
+
+// Shuffled permutes a copy of xs deterministically.
+func Shuffled(xs []int, rng *rand.Rand) []int {
+	out := append([]int(nil), xs...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,50 @@
+// Package maprange_bad seeds map-range-determinism violations: each loop
+// below leaks map iteration order into program state.
+package maprange_bad
+
+type entry struct{ weight int }
+
+// Keys appends map keys in iteration order — the canonical leak.
+func Keys(m map[int]*entry) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SumFloats accumulates float64, whose addition is not associative, so even
+// a "pure sum" depends on iteration order.
+func SumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Visit calls out to an arbitrary function, which may observe order.
+func Visit(m map[int]*entry, f func(int)) {
+	for k := range m {
+		f(k)
+	}
+}
+
+// EvictOther deletes a key other than the current one from the ranged map;
+// whether the range still produces that entry depends on order.
+func EvictOther(m map[int]bool, victim int) {
+	for k := range m {
+		if k != victim {
+			delete(m, victim)
+		}
+	}
+}
+
+// Unjustified carries a malformed directive (missing the reason), which is
+// itself a finding and does not suppress the map-range finding.
+func Unjustified(m map[int]int, f func(int)) {
+	//lrlint:ignore map-range
+	for k := range m {
+		f(k)
+	}
+}

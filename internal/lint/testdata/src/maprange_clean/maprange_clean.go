@@ -1,0 +1,72 @@
+// Package maprange_clean exercises every loop shape the map-range pass must
+// accept: provably order-insensitive bodies and the directive escape hatch.
+package maprange_clean
+
+// Count accumulates an integer — commutative, auto-accepted.
+func Count(m map[int]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyNegative is an existence check returning a constant.
+func AnyNegative(m map[int]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DecrementAll updates and deletes only at the current key.
+func DecrementAll(m map[int]int) {
+	for k := range m {
+		m[k]--
+		if m[k] <= 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// CopyInto writes a distinct destination key per iteration.
+func CopyInto(dst, src map[int]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Locals may be assigned freely: each iteration gets a fresh binding.
+func SumCapped(m map[int]int, limit int) int {
+	total := 0
+	for _, v := range m {
+		c := v
+		if c > limit {
+			c = limit
+		}
+		total += c
+	}
+	return total
+}
+
+// Justified demonstrates the escape hatch: the callback is known
+// order-insensitive at this call site, recorded in the directive.
+func Justified(m map[int]int, add func(int)) {
+	//lrlint:ignore map-range add is a commutative accumulator at every call site
+	for k := range m {
+		add(k)
+	}
+}
+
+// SliceRange is not a map range at all.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package wallclock_bad seeds every no-wallclock violation class for the
+// lrlint fixture tests.
+package wallclock_bad
+
+import "time"
+
+// Violations consults the wall clock five different ways.
+func Violations() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	return time.Since(start)
+}
+
+// FuncValue leaks a wall-clock function as a value.
+var FuncValue = time.Now

@@ -1,0 +1,14 @@
+// Package wallclock_clean uses only the legal, conversion-and-formatting
+// surface of package time; the no-wallclock pass must stay silent.
+package wallclock_clean
+
+import "time"
+
+// Tick is a virtual timestamp, not a wall-clock read.
+const Tick = 10 * time.Millisecond
+
+// Format renders a virtual duration.
+func Format(d time.Duration) string { return d.String() }
+
+// Scale converts a duration to nanoseconds.
+func Scale(d time.Duration) int64 { return d.Nanoseconds() }

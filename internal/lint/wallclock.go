@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the package time functions that read or wait on the
+// wall clock. internal/ code must use the virtual sim.Time clock instead;
+// pure conversions and formatting (time.Duration, Duration.String, ...) stay
+// legal.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// checkWallclock implements the no-wallclock pass: any reference (call or
+// function value) to a wall-clock function of package time is a finding.
+func checkWallclock(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return true
+		}
+		if wallclockFuncs[obj.Name()] {
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Rule: RuleWallclock,
+				Msg:  "time." + obj.Name() + " reads the wall clock; simulated code must use virtual sim.Time",
+			})
+		}
+		return true
+	})
+	return diags
+}

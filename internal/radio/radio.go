@@ -65,7 +65,15 @@ type Network struct {
 
 	nodes     []Receiver
 	busyUntil []sim.Time
+
+	txObs TxObserver
 }
+
+// TxObserver sees every packet at the moment its transmission completes,
+// before delivery fans out to neighbors. Observers run in global
+// transmission order, which makes them suitable for trace hashing in
+// reproducibility tests and for packet logging.
+type TxObserver func(at sim.Time, from packet.NodeID, p packet.Packet)
 
 // New creates a network over the given topology. Node IDs are topology
 // indices; every node must be attached before traffic flows to it.
@@ -103,6 +111,10 @@ func (nw *Network) Attach(id packet.NodeID, r Receiver) error {
 	return nil
 }
 
+// SetTxObserver registers fn to observe every completed transmission.
+// Passing nil removes the observer.
+func (nw *Network) SetTxObserver(fn TxObserver) { nw.txObs = fn }
+
 // Engine returns the simulation engine driving this network.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
@@ -135,6 +147,9 @@ func (nw *Network) Broadcast(from packet.NodeID, p packet.Packet) {
 
 	nw.eng.At(done, func() {
 		nw.col.RecordTx(from, p)
+		if nw.txObs != nil {
+			nw.txObs(nw.eng.Now(), from, p)
+		}
 		nw.deliver(from, p)
 	})
 }

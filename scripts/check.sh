@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Expanded tier-1 gate: formatting, vet, build, lrlint, race-enabled tests.
+# Run from anywhere inside the repository; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> lrlint ./..."
+go run ./cmd/lrlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
