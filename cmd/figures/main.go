@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lrseluge/internal/experiment"
 	"lrseluge/internal/image"
@@ -21,12 +22,18 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which artifact to regenerate: 3a, 3b, 4, 5, 6, table2, table3, attacks, ablation, upgrade, all")
-		runs  = flag.Int("runs", 3, "simulation runs to average per data point")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		quick = flag.Bool("quick", false, "smaller image and sweeps for a fast pass")
+		fig      = flag.String("fig", "all", "which artifact to regenerate: 3a, 3b, 4, 5, 6, table2, table3, attacks, ablation, upgrade, all")
+		runs     = flag.Int("runs", 3, "simulation runs to average per data point")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		quick    = flag.Bool("quick", false, "smaller image and sweeps for a fast pass")
+		parallel = flag.Int("parallel", 0, "cap on concurrent simulation runs (0 = all cores); output is identical for any value")
 	)
 	flag.Parse()
+	if *parallel > 0 {
+		// Sweeps fan out on GOMAXPROCS-wide harness pools; capping
+		// GOMAXPROCS caps the sweep concurrency.
+		runtime.GOMAXPROCS(*parallel)
+	}
 
 	cfg := sweepConfig{runs: *runs, seed: *seed, quick: *quick}
 	artifacts := map[string]func(sweepConfig) error{

@@ -26,7 +26,7 @@ func main() {
 		kb        = flag.Int("kb", 20, "code image size in KiB")
 		receivers = flag.Int("receivers", 20, "one-hop receivers (ignored for grid topologies)")
 		loss      = flag.Float64("loss", 0.1, "iid packet-loss probability at each receiver")
-		noise     = flag.String("noise", "", "channel model override: '' (bernoulli via -loss) or 'heavy' (bursty Gilbert-Elliott)")
+		noise     = flag.String("noise", "", "channel model override: '' or 'bernoulli' (iid via -loss), 'heavy' (bursty Gilbert-Elliott)")
 		topology  = flag.String("topology", "onehop", "topology: onehop, grid, random")
 		rows      = flag.Int("rows", 15, "grid rows")
 		cols      = flag.Int("cols", 15, "grid cols")
@@ -39,6 +39,7 @@ func main() {
 		policy    = flag.String("policy", "greedy-rr", "LR-Seluge TX policy: greedy-rr, union, fresh-rr")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		runs      = flag.Int("runs", 1, "runs to average")
+		parallel  = flag.Int("parallel", 0, "harness workers for multi-run averaging (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -98,11 +99,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lrsim: unknown topology %q\n", *topology)
 		os.Exit(2)
 	}
-	if *noise == "heavy" {
+	switch *noise {
+	case "", "bernoulli":
+		// iid losses via -loss (already configured above).
+	case "heavy":
 		s.LossFactory = func() lrseluge.LossModel { return lrseluge.HeavyNoise() }
+	default:
+		fmt.Fprintf(os.Stderr, "lrsim: unknown noise model %q (want '', 'bernoulli' or 'heavy')\n", *noise)
+		os.Exit(2)
 	}
 
-	res, err := lrseluge.RunAvg(s, *runs)
+	res, err := lrseluge.RunAvgParallel(s, *runs, *parallel)
 	if err != nil {
 		log.Fatal(err)
 	}

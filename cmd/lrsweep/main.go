@@ -1,0 +1,219 @@
+// Command lrsweep runs a named experiment sweep from the catalog through the
+// internal/harness worker pool and writes one JSONL record per simulation
+// run. Output is byte-identical for any -parallel value: the harness merges
+// results in job order regardless of goroutine scheduling.
+//
+// Examples:
+//
+//	lrsweep -list
+//	lrsweep -sweep multihop -quick -runs 8 -parallel 8 -o multihop.jsonl
+//	lrsweep -sweep fig4 -runs 3 -csv fig4.csv -o fig4.jsonl -progress
+//	lrsweep -sweep smoke -runs 4 -selfbench BENCH_sweep.json
+//
+// Exit codes: 0 success, 1 a run failed (panic/timeout/error; all other
+// records are still written), 2 usage errors such as an unknown sweep or
+// noise model.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/harness"
+)
+
+func main() {
+	var (
+		sweep     = flag.String("sweep", "", "named sweep to run (see -list)")
+		list      = flag.Bool("list", false, "list available sweeps and exit")
+		runs      = flag.Int("runs", 3, "seeds averaged per grid entry")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		quick     = flag.Bool("quick", false, "smaller images/grids/axes for a fast pass")
+		parallel  = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per run (0 = none); timed-out runs become failed records")
+		out       = flag.String("o", "", "JSONL output path ('' or '-' = stdout)")
+		csvPath   = flag.String("csv", "", "also write a CSV table to this path")
+		progress  = flag.Bool("progress", false, "report per-run progress on stderr")
+		selfbench = flag.String("selfbench", "", "benchmark mode: run the sweep serially then with -parallel workers, verify byte-identical JSONL, write timings to this JSON file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available sweeps:")
+		for _, name := range experiment.SweepNames() {
+			fmt.Printf("  %-16s %s\n", name, experiment.SweepDescription(name))
+		}
+		return
+	}
+	if *sweep == "" {
+		fmt.Fprintf(os.Stderr, "lrsweep: -sweep is required (one of %s); see -list\n", strings.Join(experiment.SweepNames(), ", "))
+		os.Exit(2)
+	}
+	entries, err := experiment.NamedSweep(*sweep, experiment.SweepSpec{Runs: *runs, Seed: *seed, Quick: *quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *selfbench != "" {
+		if err := runSelfbench(*selfbench, *sweep, entries, *parallel, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	jsonlOut := io.Writer(os.Stdout)
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonlOut = f
+	}
+	sinks := []harness.Sink{harness.NewJSONLSink(jsonlOut)}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, harness.NewCSVSink(f, experiment.MetricNames()))
+	}
+
+	cfg := harness.Config{Workers: *parallel, Timeout: *timeout}
+	start := time.Now()
+	if *progress {
+		cfg.OnRecord = func(done, total int, r harness.Record) {
+			status := "ok"
+			if r.Failed() {
+				status = "FAILED: " + r.Err
+			}
+			fmt.Fprintf(os.Stderr, "lrsweep: [%d/%d] %s %s (%.1fs elapsed)\n",
+				done, total, r.Job.Name, status, time.Since(start).Seconds())
+		}
+	}
+	recs, err := harness.Run(sweepJobs(*sweep, entries), experiment.GridRunFunc, cfg, sinks...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, r := range recs {
+		if r.Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "lrsweep: %s failed: %s\n", r.Job.Name, r.Err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lrsweep: %s: %d runs (%d failed) in %.1fs on %d workers\n",
+		*sweep, len(recs), failed, time.Since(start).Seconds(), effectiveWorkers(*parallel, len(recs)))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// sweepJobs expands grid entries into harness jobs via the experiment glue.
+func sweepJobs(sweep string, entries []experiment.GridEntry) []harness.Job {
+	return experiment.GridJobs(sweep, entries)
+}
+
+// effectiveWorkers mirrors the harness pool-sizing rule for reporting.
+func effectiveWorkers(parallel, jobs int) int {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > jobs {
+		parallel = jobs
+	}
+	return parallel
+}
+
+// benchReport is the schema of the -selfbench JSON artifact.
+type benchReport struct {
+	Sweep          string  `json:"sweep"`
+	Jobs           int     `json:"jobs"`
+	RunsPerEntry   int     `json:"runs_per_entry"`
+	Cores          int     `json:"cores"`
+	Workers        int     `json:"workers"`
+	SerialSec      float64 `json:"serial_sec"`
+	ParallelSec    float64 `json:"parallel_sec"`
+	Speedup        float64 `json:"speedup"`
+	SerialSHA256   string  `json:"serial_sha256"`
+	ParallelSHA256 string  `json:"parallel_sha256"`
+	Identical      bool    `json:"identical"`
+}
+
+// runSelfbench executes the sweep twice — 1 worker, then `parallel` workers
+// (default GOMAXPROCS) — hashing the JSONL each produces, and records
+// wall-clock timings plus the byte-identity verdict.
+func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel int, timeout time.Duration) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("sweep %q has no entries", sweep)
+	}
+	once := func(workers int) (float64, string, error) {
+		h := sha256.New()
+		sink := harness.NewJSONLSink(h)
+		start := time.Now()
+		recs, err := harness.Run(sweepJobs(sweep, entries), experiment.GridRunFunc,
+			harness.Config{Workers: workers, Timeout: timeout}, sink)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return 0, "", err
+		}
+		for _, r := range recs {
+			if r.Failed() {
+				return 0, "", fmt.Errorf("%s failed: %s", r.Job.Name, r.Err)
+			}
+		}
+		return elapsed, fmt.Sprintf("%x", h.Sum(nil)), nil
+	}
+
+	jobs := sweepJobs(sweep, entries)
+	workers := effectiveWorkers(parallel, len(jobs))
+	serialSec, serialSum, err := once(1)
+	if err != nil {
+		return err
+	}
+	parallelSec, parallelSum, err := once(workers)
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Sweep:          sweep,
+		Jobs:           len(jobs),
+		RunsPerEntry:   entries[0].Runs,
+		Cores:          runtime.NumCPU(),
+		Workers:        workers,
+		SerialSec:      serialSec,
+		ParallelSec:    parallelSec,
+		Speedup:        serialSec / parallelSec,
+		SerialSHA256:   serialSum,
+		ParallelSHA256: parallelSum,
+		Identical:      serialSum == parallelSum,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lrsweep: selfbench %s: serial %.2fs, %d-worker %.2fs (%.2fx), identical=%v -> %s\n",
+		sweep, serialSec, workers, parallelSec, rep.Speedup, rep.Identical, path)
+	if !rep.Identical {
+		return fmt.Errorf("selfbench: serial and parallel JSONL differ (%s vs %s)", serialSum, parallelSum)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"lrseluge/internal/crypt/sign"
 	"lrseluge/internal/deluge"
 	"lrseluge/internal/dissem"
+	"lrseluge/internal/harness"
 	"lrseluge/internal/image"
 	"lrseluge/internal/metrics"
 	"lrseluge/internal/packet"
@@ -395,26 +396,43 @@ func build(s Scenario) (*env, error) {
 	return e, nil
 }
 
+// ablationPolicies is the fixed entry order of the scheduler ablation.
+var ablationPolicies = []LRPolicy{GreedyRR, UnionBits, FreshRR}
+
+// ablationEntries builds one grid entry per LR-Seluge scheduling policy.
+func ablationEntries(params image.Params, imageSize, receivers int, p float64, runs int, seed int64) []GridEntry {
+	entries := make([]GridEntry, 0, len(ablationPolicies))
+	for _, policy := range ablationPolicies {
+		entries = append(entries, GridEntry{
+			Name:   "policy=" + policy.String(),
+			Params: []harness.Param{{Key: "policy", Value: policy.String()}},
+			Scenario: Scenario{
+				Protocol:  LRSeluge,
+				ImageSize: imageSize,
+				Params:    params,
+				Receivers: receivers,
+				LossP:     p,
+				LRPolicy:  policy,
+				Seed:      seed,
+			},
+			Runs: runs,
+		})
+	}
+	return entries
+}
+
 // SchedulerAblation compares LR-Seluge's greedy round-robin scheduler
 // against the union-of-bit-vectors and fresh-packet policies on the same
 // scenario, isolating the contribution of the paper's TX scheduling
 // (§IV-D.3).
 func SchedulerAblation(params image.Params, imageSize, receivers int, p float64, runs int, seed int64) (map[LRPolicy]AvgResult, error) {
-	out := make(map[LRPolicy]AvgResult, 3)
-	for _, policy := range []LRPolicy{GreedyRR, UnionBits, FreshRR} {
-		avg, err := RunAvg(Scenario{
-			Protocol:  LRSeluge,
-			ImageSize: imageSize,
-			Params:    params,
-			Receivers: receivers,
-			LossP:     p,
-			LRPolicy:  policy,
-			Seed:      seed,
-		}, runs)
-		if err != nil {
-			return nil, err
-		}
-		out[policy] = avg
+	avgs, err := RunGrid("ablation", ablationEntries(params, imageSize, receivers, p, runs, seed), harness.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[LRPolicy]AvgResult, len(ablationPolicies))
+	for i, policy := range ablationPolicies {
+		out[policy] = avgs[i]
 	}
 	return out, nil
 }

@@ -2,9 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"math"
+	"strconv"
 
 	"lrseluge/internal/analysis"
+	"lrseluge/internal/harness"
 	"lrseluge/internal/image"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/topo"
@@ -32,62 +33,31 @@ type AvgResult struct {
 }
 
 // RunAvg executes a scenario `runs` times with distinct seeds and averages
-// the metrics.
+// the metrics. Runs fan out across a GOMAXPROCS-wide harness worker pool;
+// the averages are bit-identical to a serial loop (see internal/harness).
 func RunAvg(s Scenario, runs int) (AvgResult, error) {
+	return RunAvgParallel(s, runs, 0)
+}
+
+// RunAvgParallel is RunAvg with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial). On a failed run the error names the run index and seed.
+func RunAvgParallel(s Scenario, runs, workers int) (AvgResult, error) {
 	if runs < 1 {
 		return AvgResult{}, fmt.Errorf("experiment: runs must be >= 1")
 	}
-	out := AvgResult{Protocol: s.Protocol, Runs: runs, ImagesOK: true}
-	data := make([]float64, 0, runs)
-	bytesSamples := make([]float64, 0, runs)
-	latency := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
-		sc := s
-		sc.Seed = s.Seed + int64(i)*1000003
-		r, err := Run(sc)
-		if err != nil {
-			return AvgResult{}, err
-		}
-		out.Completed += float64(r.Completed) / float64(r.Nodes)
-		out.DataPkts += float64(r.DataPkts)
-		out.PageData += float64(r.PageDataPkts)
-		out.SnackPkts += float64(r.SnackPkts)
-		out.AdvPkts += float64(r.AdvPkts)
-		out.SigPkts += float64(r.SigPkts)
-		out.TotalBytes += float64(r.TotalBytes)
-		out.LatencySec += r.Latency.Seconds()
-		out.ImagesOK = out.ImagesOK && r.ImagesOK
-		data = append(data, float64(r.DataPkts))
-		bytesSamples = append(bytesSamples, float64(r.TotalBytes))
-		latency = append(latency, r.Latency.Seconds())
+	avgs, err := RunGrid("", []GridEntry{{
+		Name:     s.Protocol.String(),
+		Scenario: s,
+		Runs:     runs,
+	}}, harness.Config{Workers: workers})
+	if err != nil {
+		return AvgResult{}, err
 	}
-	f := float64(runs)
-	out.Completed /= f
-	out.DataPkts /= f
-	out.PageData /= f
-	out.SnackPkts /= f
-	out.AdvPkts /= f
-	out.SigPkts /= f
-	out.TotalBytes /= f
-	out.LatencySec /= f
-	out.DataStd = sampleStd(data, out.DataPkts)
-	out.BytesStd = sampleStd(bytesSamples, out.TotalBytes)
-	out.LatencyStd = sampleStd(latency, out.LatencySec)
-	return out, nil
+	return avgs[0], nil
 }
 
-// sampleStd returns the sample standard deviation around a known mean.
-func sampleStd(xs []float64, mean float64) float64 {
-	if len(xs) < 2 {
-		return 0
-	}
-	var ss float64
-	for _, x := range xs {
-		d := x - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss / float64(len(xs)-1))
-}
+// fmtFloat renders sweep-axis values for job params and entry names.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // Fig3Point is one x-position of Fig. 3: analytical and simulated data-packet
 // counts for transmitting ONE page to N one-hop receivers.
@@ -99,78 +69,99 @@ type Fig3Point struct {
 	LRSim          float64
 }
 
-// fig3Sim measures simulated data-packet transmissions for a single page.
-// Each protocol gets an image sized to exactly one of ITS pages, and only
+// fig3Entry builds the one-page scenario of Fig. 3 for one protocol: each
+// protocol gets an image sized to exactly one of ITS pages, and only
 // image-page data packets are counted (hash-page and signature excluded),
 // matching the paper's "transmission of one page" setup (§VI-A).
-func fig3Sim(proto Protocol, params image.Params, receivers int, p float64, runs int, seed int64) (float64, error) {
+func fig3Entry(proto Protocol, params image.Params, receivers int, p float64, runs int, seed int64) GridEntry {
 	size := params.SelugePageBytes()
 	if proto == LRSeluge {
 		size = params.LRPageBytes()
 	}
-	avg, err := RunAvg(Scenario{
-		Protocol:  proto,
-		ImageSize: size,
-		Params:    params,
-		Receivers: receivers,
-		LossP:     p,
-		Seed:      seed,
-	}, runs)
-	if err != nil {
-		return 0, err
+	return GridEntry{
+		Name: fmt.Sprintf("p=%s/N=%d", fmtFloat(p), receivers),
+		Params: []harness.Param{
+			{Key: "p", Value: fmtFloat(p)},
+			{Key: "receivers", Value: strconv.Itoa(receivers)},
+		},
+		Scenario: Scenario{
+			Protocol:  proto,
+			ImageSize: size,
+			Params:    params,
+			Receivers: receivers,
+			LossP:     p,
+			Seed:      seed,
+		},
+		Runs: runs,
 	}
-	if avg.Completed < 1 {
-		return 0, fmt.Errorf("experiment: fig3 run incomplete (%.2f) proto=%v p=%.2f", avg.Completed, proto, p)
+}
+
+// fig3Assemble turns the per-(x, protocol) averages back into Fig3Points,
+// enforcing the full-completion requirement of the one-page measurement.
+func fig3Assemble(xs []float64, avgs []AvgResult, points []Fig3Point) ([]Fig3Point, error) {
+	for i := range xs {
+		sel, lr := avgs[2*i], avgs[2*i+1]
+		for _, avg := range []AvgResult{sel, lr} {
+			if avg.Completed < 1 {
+				return nil, fmt.Errorf("experiment: fig3 run incomplete (%.2f) proto=%v x=%v", avg.Completed, avg.Protocol, xs[i])
+			}
+		}
+		points[i].SelugeSim = sel.PageData
+		points[i].LRSim = lr.PageData
 	}
-	return avg.PageData, nil
+	return points, nil
 }
 
 // Fig3LossSweep reproduces Fig. 3(a): data packets for one page versus the
 // packet-loss rate, with N receivers.
 func Fig3LossSweep(params image.Params, receivers int, ps []float64, runs int, seed int64) ([]Fig3Point, error) {
-	out := make([]Fig3Point, 0, len(ps))
-	for _, p := range ps {
-		pt := Fig3Point{X: p}
+	points := make([]Fig3Point, len(ps))
+	entries := make([]GridEntry, 0, 2*len(ps))
+	for i, p := range ps {
+		points[i].X = p
 		var err error
-		if pt.SelugeAnalysis, err = analysis.SelugeDataTx(params.K, receivers, p); err != nil {
+		if points[i].SelugeAnalysis, err = analysis.SelugeDataTx(params.K, receivers, p); err != nil {
 			return nil, err
 		}
-		if pt.ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, receivers, p); err != nil {
+		if points[i].ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, receivers, p); err != nil {
 			return nil, err
 		}
-		if pt.SelugeSim, err = fig3Sim(Seluge, params, receivers, p, runs, seed); err != nil {
-			return nil, err
-		}
-		if pt.LRSim, err = fig3Sim(LRSeluge, params, receivers, p, runs, seed); err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+		entries = append(entries,
+			fig3Entry(Seluge, params, receivers, p, runs, seed),
+			fig3Entry(LRSeluge, params, receivers, p, runs, seed))
 	}
-	return out, nil
+	avgs, err := RunGrid("fig3a", entries, harness.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return fig3Assemble(ps, avgs, points)
 }
 
 // Fig3ReceiverSweep reproduces Fig. 3(b): data packets for one page versus
 // the number of receivers, at loss rate p.
 func Fig3ReceiverSweep(params image.Params, ns []int, p float64, runs int, seed int64) ([]Fig3Point, error) {
-	out := make([]Fig3Point, 0, len(ns))
-	for _, n := range ns {
-		pt := Fig3Point{X: float64(n)}
+	points := make([]Fig3Point, len(ns))
+	xs := make([]float64, len(ns))
+	entries := make([]GridEntry, 0, 2*len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+		points[i].X = float64(n)
 		var err error
-		if pt.SelugeAnalysis, err = analysis.SelugeDataTx(params.K, n, p); err != nil {
+		if points[i].SelugeAnalysis, err = analysis.SelugeDataTx(params.K, n, p); err != nil {
 			return nil, err
 		}
-		if pt.ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, n, p); err != nil {
+		if points[i].ACKLRAnalysis, err = analysis.ACKBasedLRDataTx(params.K, params.N, params.K, n, p); err != nil {
 			return nil, err
 		}
-		if pt.SelugeSim, err = fig3Sim(Seluge, params, n, p, runs, seed); err != nil {
-			return nil, err
-		}
-		if pt.LRSim, err = fig3Sim(LRSeluge, params, n, p, runs, seed); err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+		entries = append(entries,
+			fig3Entry(Seluge, params, n, p, runs, seed),
+			fig3Entry(LRSeluge, params, n, p, runs, seed))
 	}
-	return out, nil
+	avgs, err := RunGrid("fig3b", entries, harness.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return fig3Assemble(xs, avgs, points)
 }
 
 // ComparisonPoint is one x-position of Figs. 4 and 5: all five paper metrics
@@ -181,50 +172,76 @@ type ComparisonPoint struct {
 	LR     AvgResult
 }
 
+// comparisonEntries expands one x-position of a Seluge-vs-LR-Seluge sweep
+// into its two grid entries (Seluge first).
+func comparisonEntries(name string, params []harness.Param, base Scenario, runs int) []GridEntry {
+	sel := base
+	sel.Protocol = Seluge
+	lr := base
+	lr.Protocol = LRSeluge
+	return []GridEntry{
+		{Name: name, Params: params, Scenario: sel, Runs: runs},
+		{Name: name, Params: params, Scenario: lr, Runs: runs},
+	}
+}
+
+// comparisonAssemble pairs the per-entry averages back into points.
+func comparisonAssemble(xs []float64, avgs []AvgResult) []ComparisonPoint {
+	out := make([]ComparisonPoint, len(xs))
+	for i, x := range xs {
+		out[i] = ComparisonPoint{X: x, Seluge: avgs[2*i], LR: avgs[2*i+1]}
+	}
+	return out
+}
+
+// fig4Entries builds the loss-rate sweep grid of Fig. 4.
+func fig4Entries(params image.Params, imageSize, receivers int, ps []float64, runs int, seed int64) []GridEntry {
+	entries := make([]GridEntry, 0, 2*len(ps))
+	for _, p := range ps {
+		entries = append(entries, comparisonEntries(
+			"p="+fmtFloat(p),
+			[]harness.Param{{Key: "p", Value: fmtFloat(p)}},
+			Scenario{ImageSize: imageSize, Params: params, Receivers: receivers, LossP: p, Seed: seed},
+			runs)...)
+	}
+	return entries
+}
+
 // Fig4LossImpact reproduces Fig. 4(a)-(e): the five metrics versus the
 // packet-loss rate for a 20 KB image and N = 20 one-hop receivers (§VI-B.1).
 func Fig4LossImpact(params image.Params, imageSize, receivers int, ps []float64, runs int, seed int64) ([]ComparisonPoint, error) {
-	out := make([]ComparisonPoint, 0, len(ps))
-	for _, p := range ps {
-		base := Scenario{ImageSize: imageSize, Params: params, Receivers: receivers, LossP: p, Seed: seed}
-		pt := ComparisonPoint{X: p}
-		var err error
-		sc := base
-		sc.Protocol = Seluge
-		if pt.Seluge, err = RunAvg(sc, runs); err != nil {
-			return nil, err
-		}
-		sc = base
-		sc.Protocol = LRSeluge
-		if pt.LR, err = RunAvg(sc, runs); err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+	avgs, err := RunGrid("fig4", fig4Entries(params, imageSize, receivers, ps, runs, seed), harness.Config{})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return comparisonAssemble(ps, avgs), nil
+}
+
+// fig5Entries builds the receiver-count sweep grid of Fig. 5.
+func fig5Entries(params image.Params, imageSize int, receivers []int, p float64, runs int, seed int64) []GridEntry {
+	entries := make([]GridEntry, 0, 2*len(receivers))
+	for _, n := range receivers {
+		entries = append(entries, comparisonEntries(
+			"N="+strconv.Itoa(n),
+			[]harness.Param{{Key: "receivers", Value: strconv.Itoa(n)}},
+			Scenario{ImageSize: imageSize, Params: params, Receivers: n, LossP: p, Seed: seed},
+			runs)...)
+	}
+	return entries
 }
 
 // Fig5DensityImpact reproduces Fig. 5(a)-(e): the five metrics versus the
 // number of local receivers at p = 0.1 (§VI-B.2).
 func Fig5DensityImpact(params image.Params, imageSize int, receivers []int, p float64, runs int, seed int64) ([]ComparisonPoint, error) {
-	out := make([]ComparisonPoint, 0, len(receivers))
-	for _, n := range receivers {
-		base := Scenario{ImageSize: imageSize, Params: params, Receivers: n, LossP: p, Seed: seed}
-		pt := ComparisonPoint{X: float64(n)}
-		var err error
-		sc := base
-		sc.Protocol = Seluge
-		if pt.Seluge, err = RunAvg(sc, runs); err != nil {
-			return nil, err
-		}
-		sc = base
-		sc.Protocol = LRSeluge
-		if pt.LR, err = RunAvg(sc, runs); err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+	avgs, err := RunGrid("fig5", fig5Entries(params, imageSize, receivers, p, runs, seed), harness.Config{})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	xs := make([]float64, len(receivers))
+	for i, n := range receivers {
+		xs[i] = float64(n)
+	}
+	return comparisonAssemble(xs, avgs), nil
 }
 
 // RatePoint is one (n, p) cell of Fig. 6: LR-Seluge's five metrics at a
@@ -236,63 +253,96 @@ type RatePoint struct {
 	LR   AvgResult
 }
 
-// Fig6RateImpact reproduces Fig. 6(a)-(e): the impact of the erasure-coding
-// rate n/k on LR-Seluge, k fixed (paper fixes k = 32), under several loss
-// rates (§VI-B.3).
-func Fig6RateImpact(payload, k, imageSize, receivers int, ns []int, ps []float64, runs int, seed int64) ([]RatePoint, error) {
-	out := make([]RatePoint, 0, len(ns)*len(ps))
+// fig6Entries builds the coding-rate grid of Fig. 6 (outer loop p, inner n,
+// matching the figure's presentation order).
+func fig6Entries(payload, k, imageSize, receivers int, ns []int, ps []float64, runs int, seed int64) ([]GridEntry, error) {
+	entries := make([]GridEntry, 0, len(ns)*len(ps))
 	for _, p := range ps {
 		for _, n := range ns {
 			params := image.Params{PacketPayload: payload, K: k, N: n}
 			if err := params.Validate(); err != nil {
 				return nil, err
 			}
-			avg, err := RunAvg(Scenario{
-				Protocol:  LRSeluge,
-				ImageSize: imageSize,
-				Params:    params,
-				Receivers: receivers,
-				LossP:     p,
-				Seed:      seed,
-			}, runs)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, RatePoint{N: n, P: p, Rate: float64(n) / float64(k), LR: avg})
+			entries = append(entries, GridEntry{
+				Name: fmt.Sprintf("p=%s/n=%d", fmtFloat(p), n),
+				Params: []harness.Param{
+					{Key: "p", Value: fmtFloat(p)},
+					{Key: "n", Value: strconv.Itoa(n)},
+				},
+				Scenario: Scenario{
+					Protocol:  LRSeluge,
+					ImageSize: imageSize,
+					Params:    params,
+					Receivers: receivers,
+					LossP:     p,
+					Seed:      seed,
+				},
+				Runs: runs,
+			})
+		}
+	}
+	return entries, nil
+}
+
+// Fig6RateImpact reproduces Fig. 6(a)-(e): the impact of the erasure-coding
+// rate n/k on LR-Seluge, k fixed (paper fixes k = 32), under several loss
+// rates (§VI-B.3).
+func Fig6RateImpact(payload, k, imageSize, receivers int, ns []int, ps []float64, runs int, seed int64) ([]RatePoint, error) {
+	entries, err := fig6Entries(payload, k, imageSize, receivers, ns, ps, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	avgs, err := RunGrid("fig6", entries, harness.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RatePoint, 0, len(entries))
+	i := 0
+	for _, p := range ps {
+		for _, n := range ns {
+			out = append(out, RatePoint{N: n, P: p, Rate: float64(n) / float64(k), LR: avgs[i]})
+			i++
 		}
 	}
 	return out, nil
+}
+
+// multihopEntries builds the Seluge-vs-LR-Seluge grid comparison of Tables
+// II and III, with a fresh bursty channel per run via LossFactory.
+func multihopEntries(params image.Params, imageSize int, density topo.GridDensity, rows, cols, runs int, seed int64) ([]GridEntry, error) {
+	graph, err := topo.Grid(rows, cols, density)
+	if err != nil {
+		return nil, err
+	}
+	if !graph.Connected() {
+		return nil, fmt.Errorf("experiment: %v grid is not connected", density)
+	}
+	base := Scenario{
+		ImageSize:   imageSize,
+		Params:      params,
+		Graph:       graph,
+		Seed:        seed,
+		LossFactory: func() radio.LossModel { return radio.HeavyNoise() },
+	}
+	name := fmt.Sprintf("grid=%dx%d/density=%v", rows, cols, density)
+	params2 := []harness.Param{
+		{Key: "grid", Value: fmt.Sprintf("%dx%d", rows, cols)},
+		{Key: "density", Value: fmt.Sprintf("%v", density)},
+	}
+	return comparisonEntries(name, params2, base, runs), nil
 }
 
 // MultiHopComparison reproduces Tables II and III: Seluge versus LR-Seluge
 // on a 15x15 grid with bursty (Gilbert-Elliott) noise substituting for the
 // paper's meyer-heavy.txt trace (§VI-C, DESIGN.md §5).
 func MultiHopComparison(params image.Params, imageSize int, density topo.GridDensity, rows, cols, runs int, seed int64) (selugeRes, lrRes AvgResult, err error) {
-	graph, err := topo.Grid(rows, cols, density)
+	entries, err := multihopEntries(params, imageSize, density, rows, cols, runs, seed)
 	if err != nil {
 		return AvgResult{}, AvgResult{}, err
 	}
-	if !graph.Connected() {
-		return AvgResult{}, AvgResult{}, fmt.Errorf("experiment: %v grid is not connected", density)
-	}
-	base := Scenario{
-		ImageSize: imageSize,
-		Params:    params,
-		Graph:     graph,
-		Seed:      seed,
-	}
-	base.LossFactory = func() radio.LossModel { return radio.HeavyNoise() }
-	sc := base
-	sc.Protocol = Seluge
-	selugeRes, err = RunAvg(sc, runs)
+	avgs, err := RunGrid("multihop", entries, harness.Config{})
 	if err != nil {
 		return AvgResult{}, AvgResult{}, err
 	}
-	sc = base
-	sc.Protocol = LRSeluge
-	lrRes, err = RunAvg(sc, runs)
-	if err != nil {
-		return AvgResult{}, AvgResult{}, err
-	}
-	return selugeRes, lrRes, nil
+	return avgs[0], avgs[1], nil
 }

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregator is the in-memory sink behind multi-run averaging: it folds the
+// record stream into per-metric mean, sample standard deviation and minimum.
+// Accumulation happens in record (= job) order with the same operation order
+// as a serial loop, so aggregate floats are bit-identical to a serial
+// implementation for any worker count.
+//
+// Failed records are collected, not aggregated; callers decide whether a
+// failure poisons the sweep (see Failures).
+type Aggregator struct {
+	count    int
+	names    []string
+	index    map[string]int // metric name -> position in names; lookup only, never ranged
+	sums     []float64
+	mins     []float64
+	samples  [][]float64
+	failures []Record
+}
+
+// NewAggregator returns an empty aggregator. The metric set is fixed by the
+// first successful record; later records must carry the same metrics in the
+// same order.
+func NewAggregator() *Aggregator {
+	return &Aggregator{index: make(map[string]int)}
+}
+
+// Write implements Sink.
+func (a *Aggregator) Write(r Record) error {
+	if r.Failed() {
+		a.failures = append(a.failures, r)
+		return nil
+	}
+	if a.count == 0 && len(a.names) == 0 {
+		a.names = make([]string, len(r.Metrics))
+		a.sums = make([]float64, len(r.Metrics))
+		a.mins = make([]float64, len(r.Metrics))
+		a.samples = make([][]float64, len(r.Metrics))
+		for i, m := range r.Metrics {
+			a.names[i] = m.Name
+			a.index[m.Name] = i
+			a.mins[i] = math.Inf(1)
+		}
+	}
+	if len(r.Metrics) != len(a.names) {
+		return fmt.Errorf("harness: aggregate: record %d has %d metrics, want %d", r.Job.Index, len(r.Metrics), len(a.names))
+	}
+	for i, m := range r.Metrics {
+		if m.Name != a.names[i] {
+			return fmt.Errorf("harness: aggregate: record %d metric %d is %q, want %q", r.Job.Index, i, m.Name, a.names[i])
+		}
+	}
+	for i, m := range r.Metrics {
+		a.sums[i] += m.Value
+		if m.Value < a.mins[i] {
+			a.mins[i] = m.Value
+		}
+		a.samples[i] = append(a.samples[i], m.Value)
+	}
+	a.count++
+	return nil
+}
+
+// Flush implements Sink.
+func (a *Aggregator) Flush() error { return nil }
+
+// Count returns the number of successful records aggregated.
+func (a *Aggregator) Count() int { return a.count }
+
+// Failures returns the failed records in job order.
+func (a *Aggregator) Failures() []Record { return a.failures }
+
+// Mean returns the arithmetic mean of the named metric (0 when no records
+// or unknown metric).
+func (a *Aggregator) Mean(name string) float64 {
+	i, ok := a.index[name]
+	if !ok || a.count == 0 {
+		return 0
+	}
+	return a.sums[i] / float64(a.count)
+}
+
+// Min returns the smallest observed value of the named metric (0 when no
+// records or unknown metric).
+func (a *Aggregator) Min(name string) float64 {
+	i, ok := a.index[name]
+	if !ok || a.count == 0 {
+		return 0
+	}
+	return a.mins[i]
+}
+
+// Std returns the sample standard deviation of the named metric around its
+// mean; zero with fewer than two records.
+func (a *Aggregator) Std(name string) float64 {
+	i, ok := a.index[name]
+	if !ok || a.count == 0 {
+		return 0
+	}
+	return sampleStd(a.samples[i], a.sums[i]/float64(a.count))
+}
+
+// sampleStd returns the sample standard deviation around a known mean.
+func sampleStd(xs []float64, mean float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

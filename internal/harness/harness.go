@@ -1,0 +1,220 @@
+// Package harness is the parallel experiment orchestrator: it takes a
+// declarative set of jobs (typically a scenario × seed grid built by
+// internal/experiment), executes them concurrently across a worker pool, and
+// merges the results in job order regardless of goroutine scheduling, so a
+// sweep's output is byte-identical whether it ran on 1 worker or 64.
+//
+// The harness is the only layer of the repository allowed to consult the
+// wall clock, and only for orchestration concerns: per-run timeouts and
+// progress reporting. Simulated time stays virtual inside internal/sim; a
+// run's *results* never depend on real time. Every wall-clock read below
+// carries an //lrlint:ignore no-wallclock directive documenting this
+// boundary.
+//
+// Failure containment: a run that panics becomes a failed Record (with the
+// panic message), not a dead sweep; a run that exceeds the configured
+// timeout is abandoned and recorded as failed while the remaining jobs
+// proceed.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Param is one ordered key/value label identifying a job (protocol, loss
+// rate, seed, ...). Params are serialized into every record in slice order,
+// which is why they are not a map.
+type Param struct {
+	Key, Value string
+}
+
+// Job is one unit of work: a named point of the sweep grid. Index is the
+// job's position in the sweep and the canonical merge order; Run assigns it
+// from slice position, so callers need not set it.
+type Job struct {
+	Index  int
+	Name   string
+	Params []Param
+
+	// Payload carries caller data (e.g. the experiment scenario) to the
+	// RunFunc. It is never serialized by sinks.
+	Payload any
+}
+
+// Metric is one named numeric result of a run. Metrics are serialized in
+// slice order.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Record is the outcome of one job: its metrics on success, or a non-empty
+// Err (with Panicked set when the failure was a recovered panic).
+type Record struct {
+	Job      Job
+	Metrics  []Metric
+	Err      string
+	Panicked bool
+}
+
+// Failed reports whether the run produced no usable metrics.
+func (r Record) Failed() bool { return r.Err != "" }
+
+// Metric returns the named metric value, or 0 if absent.
+func (r Record) Metric(name string) float64 {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// RunFunc executes one job and returns its metrics. It is called from
+// multiple goroutines concurrently and must not share mutable state across
+// jobs.
+type RunFunc func(Job) ([]Metric, error)
+
+// Config tunes the pool.
+type Config struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// Timeout is the wall-clock budget for a single run; 0 means none. A
+	// timed-out run is abandoned (its goroutine is leaked until it returns;
+	// the simulator has no preemption points) and recorded as failed.
+	Timeout time.Duration
+
+	// OnRecord, when non-nil, is called once per job in merge (job) order
+	// with the number of records emitted so far, the total job count, and
+	// the record. It runs on the merging goroutine, so implementations need
+	// no locking.
+	OnRecord func(done, total int, r Record)
+}
+
+// Run executes every job through fn across the worker pool and returns the
+// records in job order. Each record is streamed to every sink — and to
+// cfg.OnRecord — in job order as soon as all of its predecessors have
+// finished, so sink output is deterministic for any worker count. Sinks are
+// flushed before returning; the first sink error aborts further sink writes
+// and is returned (job execution still completes so the returned records are
+// whole).
+func Run(jobs []Job, fn RunFunc, cfg Config, sinks ...Sink) ([]Record, error) {
+	for i := range jobs {
+		jobs[i].Index = i
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Record, len(jobs))
+	if len(jobs) == 0 {
+		return out, flushAll(sinks)
+	}
+
+	jobCh := make(chan int)
+	resCh := make(chan Record, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				resCh <- execute(jobs[idx], fn, cfg.Timeout)
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			jobCh <- i
+		}
+		close(jobCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Ordered merge: buffer out-of-order arrivals in the result slice and
+	// emit the longest ready prefix after each arrival.
+	var sinkErr error
+	done := make([]bool, len(jobs))
+	next := 0
+	for r := range resCh {
+		out[r.Job.Index] = r
+		done[r.Job.Index] = true
+		for next < len(jobs) && done[next] {
+			rec := out[next]
+			next++
+			if sinkErr == nil {
+				sinkErr = writeAll(sinks, rec)
+			}
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(next, len(jobs), rec)
+			}
+		}
+	}
+	if err := flushAll(sinks); sinkErr == nil {
+		sinkErr = err
+	}
+	return out, sinkErr
+}
+
+// execute runs one job with panic capture and an optional wall-clock
+// timeout. The run itself happens on a dedicated goroutine so that a
+// timed-out run can be abandoned without taking the worker down with it.
+func execute(job Job, fn RunFunc, timeout time.Duration) Record {
+	resCh := make(chan Record, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resCh <- Record{Job: job, Err: fmt.Sprintf("panic: %v", p), Panicked: true}
+			}
+		}()
+		rec := Record{Job: job}
+		metrics, err := fn(job)
+		if err != nil {
+			rec.Err = err.Error()
+		} else {
+			rec.Metrics = metrics
+		}
+		resCh <- rec
+	}()
+	if timeout <= 0 {
+		return <-resCh
+	}
+	//lrlint:ignore no-wallclock per-run timeouts are an orchestration concern; virtual time stays inside internal/sim
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case rec := <-resCh:
+		return rec
+	case <-timer.C:
+		return Record{Job: job, Err: fmt.Sprintf("timeout: run exceeded %v of wall-clock time", timeout)}
+	}
+}
+
+func writeAll(sinks []Sink, r Record) error {
+	for _, s := range sinks {
+		if err := s.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func flushAll(sinks []Sink) error {
+	var first error
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoJobs builds n jobs whose payload is their slice position.
+func echoJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name:    fmt.Sprintf("job-%02d", i),
+			Params:  []Param{{Key: "i", Value: fmt.Sprint(i)}},
+			Payload: i,
+		}
+	}
+	return jobs
+}
+
+// TestOrderedMergeUnderConcurrency proves the central contract: records come
+// back in job order even when later jobs finish long before earlier ones.
+func TestOrderedMergeUnderConcurrency(t *testing.T) {
+	const n = 24
+	fn := func(j Job) ([]Metric, error) {
+		i := j.Payload.(int)
+		// Earlier jobs sleep longer so completion order inverts job order.
+		time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+		return []Metric{{Name: "i", Value: float64(i)}}, nil
+	}
+	recs, err := Run(echoJobs(n), fn, Config{Workers: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Job.Index != i {
+			t.Errorf("record %d has index %d", i, r.Job.Index)
+		}
+		if r.Failed() {
+			t.Errorf("record %d failed: %s", i, r.Err)
+		}
+		if got := r.Metric("i"); got != float64(i) {
+			t.Errorf("record %d carries metric %v", i, got)
+		}
+	}
+}
+
+// TestOnRecordOrder verifies the progress callback fires once per job, in
+// job order, with a correct running count.
+func TestOnRecordOrder(t *testing.T) {
+	const n = 10
+	var seen []int
+	var counts []int
+	cfg := Config{
+		Workers: 4,
+		OnRecord: func(done, total int, r Record) {
+			if total != n {
+				t.Errorf("total = %d, want %d", total, n)
+			}
+			seen = append(seen, r.Job.Index)
+			counts = append(counts, done)
+		},
+	}
+	fn := func(j Job) ([]Metric, error) {
+		time.Sleep(time.Duration(j.Payload.(int)%3) * time.Millisecond)
+		return nil, nil
+	}
+	if _, err := Run(echoJobs(n), fn, cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("callback fired %d times, want %d", len(seen), n)
+	}
+	for i := range seen {
+		if seen[i] != i {
+			t.Errorf("callback %d saw job %d", i, seen[i])
+		}
+		if counts[i] != i+1 {
+			t.Errorf("callback %d reported done=%d, want %d", i, counts[i], i+1)
+		}
+	}
+}
+
+// TestPanicInjection is the failure-containment contract: one poisoned run
+// yields one failed record and N-1 successes, still in order.
+func TestPanicInjection(t *testing.T) {
+	const n, poisoned = 9, 3
+	fn := func(j Job) ([]Metric, error) {
+		if j.Payload.(int) == poisoned {
+			panic("poisoned run")
+		}
+		return []Metric{{Name: "ok", Value: 1}}, nil
+	}
+	recs, err := Run(echoJobs(n), fn, Config{Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	failures := 0
+	for i, r := range recs {
+		if r.Job.Index != i {
+			t.Errorf("record %d has index %d", i, r.Job.Index)
+		}
+		if i == poisoned {
+			failures++
+			if !r.Panicked {
+				t.Errorf("poisoned record not marked panicked: %+v", r)
+			}
+			if !strings.Contains(r.Err, "poisoned run") {
+				t.Errorf("poisoned record err = %q", r.Err)
+			}
+			if len(r.Metrics) != 0 {
+				t.Errorf("poisoned record carries metrics: %+v", r.Metrics)
+			}
+			continue
+		}
+		if r.Failed() {
+			t.Errorf("record %d unexpectedly failed: %s", i, r.Err)
+		}
+	}
+	if failures != 1 {
+		t.Errorf("got %d failed records, want 1", failures)
+	}
+}
+
+// TestRunErrorBecomesRecord verifies plain errors (not just panics) turn
+// into failed records.
+func TestRunErrorBecomesRecord(t *testing.T) {
+	fn := func(j Job) ([]Metric, error) {
+		if j.Payload.(int) == 1 {
+			return nil, fmt.Errorf("deliberate failure")
+		}
+		return nil, nil
+	}
+	recs, err := Run(echoJobs(3), fn, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !recs[1].Failed() || recs[1].Panicked || !strings.Contains(recs[1].Err, "deliberate failure") {
+		t.Errorf("record 1 = %+v, want non-panic failure", recs[1])
+	}
+	if recs[0].Failed() || recs[2].Failed() {
+		t.Errorf("unexpected failures: %+v %+v", recs[0], recs[2])
+	}
+}
+
+// TestTimeout verifies a run exceeding the wall-clock budget is abandoned
+// and recorded as failed while the rest of the sweep completes.
+func TestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	fn := func(j Job) ([]Metric, error) {
+		if j.Payload.(int) == 0 {
+			<-release // hangs until the test ends
+		}
+		return []Metric{{Name: "ok", Value: 1}}, nil
+	}
+	recs, err := Run(echoJobs(4), fn, Config{Workers: 2, Timeout: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !recs[0].Failed() || !strings.Contains(recs[0].Err, "timeout") {
+		t.Errorf("hung record = %+v, want timeout failure", recs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if recs[i].Failed() {
+			t.Errorf("record %d unexpectedly failed: %s", i, recs[i].Err)
+		}
+	}
+}
+
+// TestEmptyJobs verifies the degenerate sweep.
+func TestEmptyJobs(t *testing.T) {
+	recs, err := Run(nil, func(Job) ([]Metric, error) { return nil, nil }, Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records, want 0", len(recs))
+	}
+}

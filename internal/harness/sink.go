@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink consumes the ordered record stream of a sweep. Write is called once
+// per job in job order, from a single goroutine; Flush is called once after
+// the last record.
+type Sink interface {
+	Write(Record) error
+	Flush() error
+}
+
+// JSONLSink writes one flat JSON object per record, one record per line:
+//
+//	{"index":0,"job":"p=0.1/run=0","proto":"Seluge","seed":"1",...,
+//	 "data_pkts":1234,...,"err":"","panic":false}
+//
+// Keys appear in a fixed order (index, job, params in param order, metrics
+// in metric order, err, panic) and numbers are formatted with the shortest
+// round-trip representation, so the byte stream is a deterministic function
+// of the records alone. Param keys and metric names must not collide with
+// each other or with the fixed keys; the caller owns the namespace.
+type JSONLSink struct {
+	w *bufio.Writer
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(r Record) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"index":`...)
+	buf = strconv.AppendInt(buf, int64(r.Job.Index), 10)
+	buf = append(buf, `,"job":`...)
+	buf = appendJSONString(buf, r.Job.Name)
+	for _, p := range r.Job.Params {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, p.Key)
+		buf = append(buf, ':')
+		buf = appendJSONString(buf, p.Value)
+	}
+	for _, m := range r.Metrics {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, m.Name)
+		buf = append(buf, ':')
+		buf = appendJSONNumber(buf, m.Value)
+	}
+	buf = append(buf, `,"err":`...)
+	buf = appendJSONString(buf, r.Err)
+	buf = append(buf, `,"panic":`...)
+	buf = strconv.AppendBool(buf, r.Panicked)
+	buf = append(buf, '}', '\n')
+	_, err := s.w.Write(buf)
+	return err
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }
+
+// appendJSONString appends the JSON encoding of v (delegated to
+// encoding/json so escaping is spec-correct).
+func appendJSONString(buf []byte, v string) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Strings cannot fail to marshal; keep the sink total anyway.
+		return append(buf, `""`...)
+	}
+	return append(buf, b...)
+}
+
+// appendJSONNumber appends v using the shortest representation that
+// round-trips; non-finite values (not representable in JSON) become null.
+func appendJSONNumber(buf []byte, v float64) []byte {
+	b := strconv.AppendFloat(buf, v, 'g', -1, 64)
+	for _, c := range b[len(buf):] {
+		if c == 'N' || c == 'I' || c == 'n' || c == 'i' { // NaN, ±Inf
+			return append(buf, "null"...)
+		}
+	}
+	return b
+}
+
+// CSVSink writes one row per record with the fixed header
+//
+//	index,job,<param keys of the first record>,<metric names>,err,panic
+//
+// The metric column set must be supplied up front (records that failed carry
+// no metrics, so it cannot be inferred from an arbitrary first record);
+// failed records leave their metric cells empty. Records whose param keys
+// differ from the first record's are an error.
+type CSVSink struct {
+	w         *csv.Writer
+	metrics   []string
+	paramKeys []string
+	wroteHdr  bool
+}
+
+// NewCSVSink returns a CSV sink with the given metric columns.
+func NewCSVSink(w io.Writer, metricNames []string) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w), metrics: metricNames}
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(r Record) error {
+	if !s.wroteHdr {
+		s.paramKeys = make([]string, 0, len(r.Job.Params))
+		hdr := []string{"index", "job"}
+		for _, p := range r.Job.Params {
+			s.paramKeys = append(s.paramKeys, p.Key)
+			hdr = append(hdr, p.Key)
+		}
+		hdr = append(hdr, s.metrics...)
+		hdr = append(hdr, "err", "panic")
+		if err := s.w.Write(hdr); err != nil {
+			return err
+		}
+		s.wroteHdr = true
+	}
+	if len(r.Job.Params) != len(s.paramKeys) {
+		return fmt.Errorf("harness: csv: record %d has %d params, header has %d", r.Job.Index, len(r.Job.Params), len(s.paramKeys))
+	}
+	row := make([]string, 0, 4+len(s.paramKeys)+len(s.metrics))
+	row = append(row, strconv.Itoa(r.Job.Index), r.Job.Name)
+	for i, p := range r.Job.Params {
+		if p.Key != s.paramKeys[i] {
+			return fmt.Errorf("harness: csv: record %d param %q does not match header column %q", r.Job.Index, p.Key, s.paramKeys[i])
+		}
+		row = append(row, p.Value)
+	}
+	for _, name := range s.metrics {
+		if r.Failed() {
+			row = append(row, "")
+			continue
+		}
+		row = append(row, strconv.FormatFloat(r.Metric(name), 'g', -1, 64))
+	}
+	row = append(row, r.Err, strconv.FormatBool(r.Panicked))
+	return s.w.Write(row)
+}
+
+// Flush implements Sink.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}

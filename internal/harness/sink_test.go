@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Job: Job{Index: 0, Name: "p=0.1/run=0", Params: []Param{
+				{Key: "proto", Value: "Seluge"}, {Key: "seed", Value: "1"}}},
+			Metrics: []Metric{{Name: "data_pkts", Value: 120}, {Name: "latency_sec", Value: 3.25}},
+		},
+		{
+			Job: Job{Index: 1, Name: "p=0.1/run=1", Params: []Param{
+				{Key: "proto", Value: "Seluge"}, {Key: "seed", Value: "1000004"}}},
+			Metrics: []Metric{{Name: "data_pkts", Value: 130}, {Name: "latency_sec", Value: 3.75}},
+		},
+		{
+			Job: Job{Index: 2, Name: "p=0.1/run=2", Params: []Param{
+				{Key: "proto", Value: "Seluge"}, {Key: "seed", Value: "2000007"}}},
+			Err:      "panic: poisoned",
+			Panicked: true,
+		},
+	}
+}
+
+// TestJSONLSinkValidAndDeterministic checks every emitted line is valid
+// JSON with the expected fields, and that two writes of the same records
+// are byte-identical.
+func TestJSONLSinkValidAndDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		for _, r := range sampleRecords() {
+			if err := s.Write(r); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		return buf.Bytes()
+	}
+	out1, out2 := emit(), emit()
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("two identical record streams serialized differently")
+	}
+	lines := strings.Split(strings.TrimRight(string(out1), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if first["index"] != float64(0) || first["proto"] != "Seluge" || first["data_pkts"] != float64(120) {
+		t.Errorf("line 0 fields wrong: %v", first)
+	}
+	if first["err"] != "" || first["panic"] != false {
+		t.Errorf("line 0 failure fields wrong: %v", first)
+	}
+	var failed map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &failed); err != nil {
+		t.Fatalf("line 2 is not valid JSON: %v", err)
+	}
+	if failed["err"] != "panic: poisoned" || failed["panic"] != true {
+		t.Errorf("failed line fields wrong: %v", failed)
+	}
+	if _, ok := failed["data_pkts"]; ok {
+		t.Errorf("failed line carries metrics: %v", failed)
+	}
+}
+
+// TestJSONLSinkNonFinite checks NaN/Inf metrics degrade to null rather than
+// emitting invalid JSON.
+func TestJSONLSinkNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	err := s.Write(Record{Job: Job{Name: "x"}, Metrics: []Metric{
+		{Name: "nan", Value: math.NaN()}, {Name: "inf", Value: math.Inf(-1)}}})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("non-finite metrics produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if m["nan"] != nil || m["inf"] != nil {
+		t.Errorf("non-finite metrics not null: %v", m)
+	}
+}
+
+// TestCSVSink checks header layout, row contents and empty metric cells for
+// failed records.
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf, []string{"data_pkts", "latency_sec"})
+	for _, r := range sampleRecords() {
+		if err := s.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-reading CSV: %v", err)
+	}
+	wantHdr := []string{"index", "job", "proto", "seed", "data_pkts", "latency_sec", "err", "panic"}
+	if got := strings.Join(rows[0], ","); got != strings.Join(wantHdr, ",") {
+		t.Errorf("header = %v, want %v", rows[0], wantHdr)
+	}
+	if got := strings.Join(rows[1], ","); got != "0,p=0.1/run=0,Seluge,1,120,3.25,,false" {
+		t.Errorf("row 1 = %q", got)
+	}
+	if got := strings.Join(rows[3], ","); got != "2,p=0.1/run=2,Seluge,2000007,,,panic: poisoned,true" {
+		t.Errorf("failed row = %q", got)
+	}
+}
+
+// TestCSVSinkParamMismatch checks rows with drifting param keys are
+// rejected rather than silently misaligned.
+func TestCSVSinkParamMismatch(t *testing.T) {
+	s := NewCSVSink(&bytes.Buffer{}, nil)
+	if err := s.Write(Record{Job: Job{Params: []Param{{Key: "a", Value: "1"}}}}); err != nil {
+		t.Fatalf("first Write: %v", err)
+	}
+	if err := s.Write(Record{Job: Job{Params: []Param{{Key: "b", Value: "2"}}}}); err == nil {
+		t.Error("param-key mismatch not rejected")
+	}
+}
+
+// TestAggregatorMath cross-checks mean/std/min against hand computation and
+// the historical serial formula.
+func TestAggregatorMath(t *testing.T) {
+	a := NewAggregator()
+	for i, v := range []float64{10, 20, 60} {
+		rec := Record{Job: Job{Index: i}, Metrics: []Metric{{Name: "x", Value: v}}}
+		if err := a.Write(rec); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if got := a.Mean("x"); got != 30 {
+		t.Errorf("Mean = %v, want 30", got)
+	}
+	if got := a.Min("x"); got != 10 {
+		t.Errorf("Min = %v, want 10", got)
+	}
+	want := math.Sqrt((400 + 100 + 900) / 2.0) // sample std around mean 30
+	if got := a.Std("x"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", got, want)
+	}
+	if a.Count() != 3 {
+		t.Errorf("Count = %d", a.Count())
+	}
+}
+
+// TestAggregatorFailuresAndMismatch checks failed records are collected
+// (not averaged) and metric-shape drift is rejected.
+func TestAggregatorFailuresAndMismatch(t *testing.T) {
+	a := NewAggregator()
+	if err := a.Write(Record{Job: Job{Index: 0}, Err: "boom"}); err != nil {
+		t.Fatalf("failed-record Write: %v", err)
+	}
+	if err := a.Write(Record{Job: Job{Index: 1}, Metrics: []Metric{{Name: "x", Value: 1}}}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if a.Count() != 1 || len(a.Failures()) != 1 {
+		t.Errorf("Count=%d Failures=%d, want 1/1", a.Count(), len(a.Failures()))
+	}
+	if err := a.Write(Record{Job: Job{Index: 2}, Metrics: []Metric{{Name: "y", Value: 1}}}); err == nil {
+		t.Error("metric-name drift not rejected")
+	}
+	if err := a.Write(Record{Job: Job{Index: 3}}); err == nil {
+		t.Error("metric-count drift not rejected")
+	}
+}
+
+// TestStdSingleRun confirms the Runs==1 convention: no deviation reported.
+func TestStdSingleRun(t *testing.T) {
+	a := NewAggregator()
+	if err := a.Write(Record{Metrics: []Metric{{Name: "x", Value: 5}}}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := a.Std("x"); got != 0 {
+		t.Errorf("Std of one sample = %v, want 0", got)
+	}
+}

@@ -84,8 +84,9 @@ type Config struct {
 	TrimPrefix string
 }
 
-// DefaultConfig returns the repo's production scoping: the seven packages
-// that schedule events or emit packets, and the crypto/erasure trees.
+// DefaultConfig returns the repo's production scoping: the packages that
+// schedule events, emit packets or merge experiment records, and the
+// crypto/erasure trees.
 func DefaultConfig(modulePath string) Config {
 	return Config{
 		ModulePath: modulePath,
@@ -97,6 +98,7 @@ func DefaultConfig(modulePath string) Config {
 			"internal/seluge",
 			"internal/radio",
 			"internal/trickle",
+			"internal/harness",
 		},
 		ErrorCriticalPackages: []string{
 			"internal/crypt",

@@ -87,8 +87,16 @@ type AvgResult = experiment.AvgResult
 func Run(s Scenario) (Result, error) { return experiment.Run(s) }
 
 // RunAvg executes a scenario `runs` times under distinct seeds and averages
-// the metrics.
+// the metrics; runs fan out across a GOMAXPROCS-wide worker pool
+// (internal/harness) with results merged in deterministic run order.
 func RunAvg(s Scenario, runs int) (AvgResult, error) { return experiment.RunAvg(s, runs) }
+
+// RunAvgParallel is RunAvg with an explicit harness worker count
+// (0 = GOMAXPROCS, 1 = serial). The averages are bit-identical for any
+// worker count.
+func RunAvgParallel(s Scenario, runs, workers int) (AvgResult, error) {
+	return experiment.RunAvgParallel(s, runs, workers)
+}
 
 // Time is the simulator's virtual time (nanoseconds).
 type Time = sim.Time

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Expanded tier-1 gate: formatting, vet, build, lrlint, race-enabled tests.
+# Expanded tier-1 gate: formatting, vet, build, lrlint, race-enabled tests,
+# lrsweep golden-JSONL diff, and the serial-vs-parallel sweep bench.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -24,5 +25,14 @@ go run ./cmd/lrlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> lrsweep smoke sweep vs golden"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 2 -o "$tmpdir/smoke.jsonl"
+diff -u cmd/lrsweep/testdata/smoke_sweep.golden.jsonl "$tmpdir/smoke.jsonl"
+
+echo "==> lrsweep selfbench (serial vs parallel wall-clock -> BENCH_sweep.json)"
+go run ./cmd/lrsweep -sweep multihop -quick -runs 8 -parallel 8 -selfbench BENCH_sweep.json
 
 echo "OK"
