@@ -3,32 +3,57 @@
 // suitable as a CI gate:
 //
 //	go run ./cmd/lrlint ./...
+//	go run ./cmd/lrlint -json ./... > lint.json
+//	go run ./cmd/lrlint -rules verify-before-use,rng-stream-discipline ./...
+//	go run ./cmd/lrlint -selfbench BENCH_lint.json ./...
 //
-// The argument may be ./... (whole module, the default) or a directory
-// inside the module; either way the whole module containing it is loaded so
-// cross-package types resolve. Rules and the //lrlint:ignore escape hatch
-// are documented in internal/lint.
+// The positional argument may be ./... (whole module, the default) or a
+// directory inside the module; either way the whole module containing it is
+// loaded so cross-package types resolve. Rules and the //lrlint:ignore
+// escape hatch are documented in internal/lint.
+//
+// -json emits the diagnostic artifact (internal/lint.Report) on stdout
+// instead of the human-readable lines; scripts/check.sh diffs it against a
+// committed golden so the clean state is pinned byte-for-byte. -rules
+// restricts the run to a comma-separated subset of the catalog. -selfbench
+// times the load and the serial-vs-parallel analysis and writes the result
+// to the given JSON file (wall-clock use is fine here: lrlint is tooling,
+// not simulation, and lives outside internal/).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"lrseluge/internal/lint"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lrlint:", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("lrlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the diagnostic report as JSON on stdout")
+	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	selfbench := fs.String("selfbench", "", "write a load/analyze timing benchmark to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+
 	dir := "."
-	for _, a := range args {
+	for _, a := range fs.Args() {
 		if a == "./..." || a == "" {
 			continue
 		}
@@ -36,30 +61,120 @@ func run(args []string) error {
 	}
 	if dir != "." {
 		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
-			return fmt.Errorf("%s is not a directory in this module", dir)
+			return 0, fmt.Errorf("%s is not a directory in this module", dir)
 		}
 	}
 	root, err := findModuleRoot(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
+
+	var rules []string
+	if *rulesFlag != "" {
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !knownRule(r) {
+				return 0, fmt.Errorf("unknown rule %q (catalog: %s)", r, strings.Join(lint.AllRules, ", "))
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	loadStart := time.Now()
 	pkgs, modPath, err := lint.LoadModule(root)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	loadDur := time.Since(loadStart)
+
 	cfg := lint.DefaultConfig(modPath)
+	cfg.Rules = rules
 	if wd, err := os.Getwd(); err == nil {
 		cfg.TrimPrefix = wd
 	}
+
+	analyzeStart := time.Now()
 	diags := lint.Run(pkgs, cfg)
-	for _, d := range diags {
-		fmt.Println(d)
+	analyzeDur := time.Since(analyzeStart)
+
+	if *selfbench != "" {
+		if err := writeSelfbench(*selfbench, modPath, pkgs, cfg, loadDur, analyzeDur, len(diags)); err != nil {
+			return 0, err
+		}
+	}
+
+	if *jsonOut {
+		rep := lint.NewReport(modPath, rules, diags)
+		b, err := rep.MarshalIndent()
+		if err != nil {
+			return 0, err
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lrlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		return 1, nil
 	}
-	return nil
+	return 0, nil
+}
+
+func knownRule(name string) bool {
+	for _, r := range lint.AllRules {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// selfbenchReport is the BENCH_lint.json schema: module-scale numbers plus
+// the serial-vs-parallel analysis comparison that justifies the concurrent
+// driver.
+type selfbenchReport struct {
+	Module            string  `json:"module"`
+	Packages          int     `json:"packages"`
+	Findings          int     `json:"findings"`
+	Workers           int     `json:"workers"`
+	LoadMs            float64 `json:"load_ms"`
+	AnalyzeParallelMs float64 `json:"analyze_parallel_ms"`
+	AnalyzeSerialMs   float64 `json:"analyze_serial_ms"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// writeSelfbench re-runs the analysis one package at a time to get the
+// serial baseline, then records both timings.
+func writeSelfbench(path, modPath string, pkgs []*lint.Package, cfg lint.Config, loadDur, parallelDur time.Duration, findings int) error {
+	serialStart := time.Now()
+	for _, pkg := range pkgs {
+		lint.Run([]*lint.Package{pkg}, cfg)
+	}
+	serialDur := time.Since(serialStart)
+	speedup := 0.0
+	if parallelDur > 0 {
+		speedup = float64(serialDur) / float64(parallelDur)
+	}
+	rep := selfbenchReport{
+		Module:            modPath,
+		Packages:          len(pkgs),
+		Findings:          findings,
+		Workers:           runtime.GOMAXPROCS(0),
+		LoadMs:            float64(loadDur.Microseconds()) / 1000,
+		AnalyzeParallelMs: float64(parallelDur.Microseconds()) / 1000,
+		AnalyzeSerialMs:   float64(serialDur.Microseconds()) / 1000,
+		Speedup:           speedup,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.

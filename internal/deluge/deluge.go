@@ -145,6 +145,7 @@ func (h *Handler) Ingest(d *packet.Data) dissem.IngestResult {
 		return dissem.Duplicate
 	}
 	h.have[idx] = true
+	//lrlint:ignore verify-before-use Deluge is the intentionally unauthenticated baseline (paper §II); it buffers raw payloads so experiments can measure what LR-Seluge's per-packet authentication costs
 	h.buf[idx] = append([]byte(nil), d.Payload...)
 	h.count++
 	if h.count < h.params.K {

@@ -32,3 +32,30 @@ func TestSortedKeysEmptyAndNil(t *testing.T) {
 		t.Fatalf("nil map: got %v", got)
 	}
 }
+
+func TestSortedKeysSingleKey(t *testing.T) {
+	if got := SortedKeys(map[string]int{"only": 1}); !slices.Equal(got, []string{"only"}) {
+		t.Fatalf("single key: got %v", got)
+	}
+}
+
+func TestSortedKeysNegativeInts(t *testing.T) {
+	m := map[int]bool{-3: true, 0: true, -1: true, 2: true}
+	if got := SortedKeys(m); !slices.Equal(got, []int{-3, -1, 0, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortedKeysFloatKeys(t *testing.T) {
+	m := map[float64]int{0.5: 0, -1.25: 0, 0: 0, 3.75: 0}
+	if got := SortedKeys(m); !slices.Equal(got, []float64{-1.25, 0, 0.5, 3.75}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortedKeysUint8Boundaries(t *testing.T) {
+	m := map[uint8]int{255: 0, 0: 0, 128: 0, 1: 0}
+	if got := SortedKeys(m); !slices.Equal(got, []uint8{0, 1, 128, 255}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -173,6 +173,83 @@ func TestTimeout(t *testing.T) {
 	}
 }
 
+// failingSink errors on the Nth Write call; Flush errors too if failFlush.
+type failingSink struct {
+	failOn    int // 1-based Write call number that errors; 0 = never
+	failFlush bool
+	writes    int
+	flushes   int
+}
+
+func (s *failingSink) Write(Record) error {
+	s.writes++
+	if s.failOn != 0 && s.writes == s.failOn {
+		return fmt.Errorf("sink write failure on call %d", s.writes)
+	}
+	return nil
+}
+
+func (s *failingSink) Flush() error {
+	s.flushes++
+	if s.failFlush {
+		return fmt.Errorf("sink flush failure")
+	}
+	return nil
+}
+
+// TestSinkErrorDuringPanickedSweep exercises the compound failure path: one
+// run panics AND a sink errors mid-sweep. The sweep must still return the
+// complete, ordered record set (panic contained as a failed record), report
+// the sink error, and stop writing to the broken sink after the first error.
+func TestSinkErrorDuringPanickedSweep(t *testing.T) {
+	const n, poisoned = 8, 2
+	fn := func(j Job) ([]Metric, error) {
+		if j.Payload.(int) == poisoned {
+			panic("poisoned run")
+		}
+		return []Metric{{Name: "ok", Value: 1}}, nil
+	}
+	sink := &failingSink{failOn: 4}
+	recs, err := Run(echoJobs(n), fn, Config{Workers: 4}, sink)
+	if err == nil || !strings.Contains(err.Error(), "sink write failure") {
+		t.Fatalf("Run error = %v, want sink write failure", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d — sink failure must not truncate results", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Job.Index != i {
+			t.Errorf("record %d has index %d", i, r.Job.Index)
+		}
+		if i == poisoned {
+			if !r.Panicked || !strings.Contains(r.Err, "poisoned run") {
+				t.Errorf("poisoned record = %+v", r)
+			}
+		} else if r.Failed() {
+			t.Errorf("record %d unexpectedly failed: %s", i, r.Err)
+		}
+	}
+	if sink.writes != 4 {
+		t.Errorf("sink saw %d writes, want 4 (writes stop after the first error)", sink.writes)
+	}
+	if sink.flushes != 1 {
+		t.Errorf("sink flushed %d times, want 1 (flush still runs after a write error)", sink.flushes)
+	}
+}
+
+// TestSinkFlushErrorReported verifies a flush-only failure also surfaces,
+// without disturbing the records.
+func TestSinkFlushErrorReported(t *testing.T) {
+	sink := &failingSink{failFlush: true}
+	recs, err := Run(echoJobs(3), func(Job) ([]Metric, error) { return nil, nil }, Config{Workers: 2}, sink)
+	if err == nil || !strings.Contains(err.Error(), "sink flush failure") {
+		t.Fatalf("Run error = %v, want flush failure", err)
+	}
+	if len(recs) != 3 || sink.writes != 3 {
+		t.Fatalf("records/writes = %d/%d, want 3/3", len(recs), sink.writes)
+	}
+}
+
 // TestEmptyJobs verifies the degenerate sweep.
 func TestEmptyJobs(t *testing.T) {
 	recs, err := Run(nil, func(Job) ([]Metric, error) { return nil, nil }, Config{})

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the harness-concurrency pass. PR 2 introduced real
+// goroutine concurrency into internal/harness (the worker pool behind
+// parallel sweeps), and internal/experiment sits directly on top of it. The
+// race detector only catches a data race when a schedule happens to exhibit
+// it under -race; this pass statically enforces the discipline the harness
+// design promises instead:
+//
+//	workers communicate with the rest of the pool EXCLUSIVELY over
+//	channels; all result merging and sink I/O happens on the single
+//	ordered-merge goroutine (the caller's).
+//
+// Concretely, inside every function literal launched via `go`, a write to a
+// variable captured from an enclosing function is flagged unless it is
+// mutex-guarded at the write site. Covered write forms:
+//
+//   - captured = v, captured op= v, captured++/--
+//   - captured[k] = v, *captured = v (writes THROUGH a captured container
+//     or pointer — the usual "collect results into a shared slice" race)
+//   - captured.field = v
+//
+// Channel sends, channel receives, and method calls on captured values
+// (wg.Done, mu.Lock) are not writes and stay legal, as are writes to the
+// goroutine's own locals and parameters.
+//
+// Mutex guarding is recognized by a linear scan: between `mu.Lock()` /
+// `mu.RLock()` and the matching `mu.Unlock()` / `mu.RUnlock()` on a
+// sync.Mutex / sync.RWMutex / sync.Locker-typed receiver the lock depth is
+// positive and writes are accepted. `defer mu.Unlock()` does not decrement
+// (the lock is then held to the end of the function). This deliberately does
+// not prove that every reader takes the SAME mutex — it enforces the
+// cheaper, reviewable invariant that shared writes are at least lock-guarded
+// or channel-mediated.
+func checkConcurrency(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkNonTest(pkg, func(f *ast.File, n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		c := &concAnalysis{pkg: pkg, lit: lit}
+		c.walk(lit.Body)
+		diags = append(diags, c.diags...)
+		return true
+	})
+	return diags
+}
+
+type concAnalysis struct {
+	pkg   *Package
+	lit   *ast.FuncLit
+	depth int // current mutex lock depth at the walk position
+	diags []Diagnostic
+}
+
+// captured reports whether the object is declared OUTSIDE the goroutine's
+// function literal (and is a variable — captured constants and functions are
+// immutable). Parameters and locals of the literal, including locals of
+// nested literals, are declared inside its source span.
+func (c *concAnalysis) captured(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Package-level variables have no enclosing literal but are just as
+	// shared; they count as captured too.
+	return v.Pos() < c.lit.Pos() || v.Pos() > c.lit.End()
+}
+
+// rootObj digs to the base object a write lands on: for `out[i] = v` and
+// `*p = v` and `rec.Field = v` that is out / p / rec.
+func (c *concAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := c.pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return c.pkg.Info.Defs[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walk scans statements in order, tracking mutex depth and flagging captured
+// writes. Nested function literals (e.g. a deferred closure) run on the same
+// goroutine, so their bodies are walked with the same capture frame.
+func (c *concAnalysis) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// `x := v` declares a goroutine-local; only writes to
+				// pre-existing objects can race.
+				if n.Tok == token.DEFINE {
+					if id, ok := lhs.(*ast.Ident); ok && c.pkg.Info.Defs[id] != nil {
+						continue
+					}
+				}
+				c.flagWrite(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			c.flagWrite(n.X, n.Pos())
+		case *ast.RangeStmt:
+			// `for k = range ch` (ASSIGN form) writes pre-existing k per
+			// iteration; the usual `:=` form declares goroutine-locals.
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					c.flagWrite(n.Key, n.Pos())
+				}
+				if n.Value != nil {
+					c.flagWrite(n.Value, n.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			c.trackMutex(n)
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held for the rest of the
+			// function body: walk the deferred call for nested literals but
+			// do not let its Unlock decrement the live depth.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				c.walk(lit.Body)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// flagWrite reports a finding when the write's root object is captured and
+// no mutex is held.
+func (c *concAnalysis) flagWrite(lhs ast.Expr, pos token.Pos) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	obj := c.rootObj(lhs)
+	if obj == nil || !c.captured(obj) || c.depth > 0 {
+		return
+	}
+	c.diags = append(c.diags, Diagnostic{
+		Pos:  c.pkg.Fset.Position(pos),
+		Rule: RuleConcurrency,
+		Msg: fmt.Sprintf("goroutine writes captured variable %q without holding a mutex; workers must communicate over channels and leave merging to the ordered-merge goroutine",
+			obj.Name()),
+	})
+}
+
+// trackMutex adjusts lock depth for Lock/Unlock calls on sync primitives.
+func (c *concAnalysis) trackMutex(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := c.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		c.depth++
+	case "Unlock", "RUnlock":
+		if c.depth > 0 {
+			c.depth--
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"encoding/json"
+)
+
+// Report is the machine-readable form of one lrlint run, emitted by
+// `lrlint -json` and archived by scripts/check.sh as the CI diagnostic
+// artifact. The schema is deliberately small and stable: CI diffs the
+// serialized bytes against a golden file, so field order, indentation, and
+// the empty-slice (never null) conventions below are all part of the
+// contract.
+type Report struct {
+	// Module is the module path the run analyzed.
+	Module string `json:"module"`
+	// Rules lists the rules that were enabled, in catalog order.
+	Rules []string `json:"rules"`
+	// Findings holds the surviving diagnostics in position order. Always a
+	// JSON array, never null.
+	Findings []JSONFinding `json:"findings"`
+	// Count duplicates len(findings) so shell gates can read it without a
+	// JSON parser.
+	Count int `json:"count"`
+}
+
+// JSONFinding is one diagnostic in the report.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// NewReport assembles a Report from a finished run. An empty rules filter
+// means the full catalog ran.
+func NewReport(modPath string, rules []string, diags []Diagnostic) Report {
+	if len(rules) == 0 {
+		rules = AllRules
+	}
+	findings := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, JSONFinding{
+			File: d.Pos.Filename,
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Rule: d.Rule,
+			Msg:  d.Msg,
+		})
+	}
+	return Report{
+		Module:   modPath,
+		Rules:    append([]string(nil), rules...),
+		Findings: findings,
+		Count:    len(findings),
+	}
+}
+
+// MarshalIndent renders the report in the canonical on-disk form: two-space
+// indent, trailing newline. Diffable byte-for-byte.
+func (r Report) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

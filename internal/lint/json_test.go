@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportGolden pins the -json artifact schema byte-for-byte:
+// scripts/check.sh diffs lrlint -json output against a committed golden, so
+// field order, indentation, and empty-slice conventions are contractual.
+// Regenerate with -update.
+func TestReportGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:  token.Position{Filename: "internal/deluge/deluge.go", Line: 148, Column: 2},
+			Rule: RuleTaint,
+			Msg:  "example finding",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/harness/harness.go", Line: 7, Column: 9},
+			Rule: RuleConcurrency,
+			Msg:  "second example",
+		},
+	}
+	rep := NewReport("lrseluge", nil, diags)
+	got, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("report mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestReportEmptyFindings pins the clean-run conventions the check.sh gate
+// relies on: findings is [] (never null), count is 0, and the full rule
+// catalog is listed when no filter was applied.
+func TestReportEmptyFindings(t *testing.T) {
+	rep := NewReport("lrseluge", nil, nil)
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	findings, ok := decoded["findings"].([]any)
+	if !ok {
+		t.Fatalf("findings is %T, want JSON array (never null)", decoded["findings"])
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want empty", findings)
+	}
+	if decoded["count"].(float64) != 0 {
+		t.Errorf("count = %v, want 0", decoded["count"])
+	}
+	rules, _ := decoded["rules"].([]any)
+	if len(rules) != len(AllRules) {
+		t.Errorf("rules lists %d entries, want the full catalog of %d", len(rules), len(AllRules))
+	}
+}
+
+// TestReportRulesFilter verifies a -rules run records the subset it ran.
+func TestReportRulesFilter(t *testing.T) {
+	rep := NewReport("lrseluge", []string{RuleRNG}, nil)
+	if len(rep.Rules) != 1 || rep.Rules[0] != RuleRNG {
+		t.Errorf("rules = %v, want [%s]", rep.Rules, RuleRNG)
+	}
+}

@@ -3,7 +3,7 @@
 // reproducibility claims rest on. It is built only on the standard library
 // (go/ast, go/parser, go/token, go/types) per the repo's stdlib-only rule.
 //
-// Four analyzer passes run over every non-test file of the module:
+// Seven analyzer passes run over every non-test file of the module:
 //
 //   - no-wallclock: internal/ packages must never consult the wall clock
 //     (time.Now, time.Sleep, time.After, time.Tick, timers). Protocol code
@@ -28,8 +28,25 @@
 //     implementing hash.Hash are exempt (Write is specified to never return
 //     an error).
 //
-// A finding may be suppressed with a directive on the same line or the line
-// immediately above:
+//   - verify-before-use: in the protocol packages, data tainted by a
+//     received packet must pass an internal/crypt verification on every path
+//     before it is stored in node state or fed to an internal/erasure
+//     decoder. Intra-procedural dataflow over go/types; see taint.go.
+//
+//   - harness-concurrency: in internal/harness and internal/experiment,
+//     goroutines must not write captured shared variables unless
+//     mutex-guarded; results flow over channels to the ordered-merge
+//     goroutine. See concurrency.go.
+//
+//   - rng-stream-discipline: *rand.Rand / rand.Source values must not live
+//     in package-level variables, leak through exported fields or results,
+//     feed two streams from one source, or be constructed from constant
+//     seeds. See rng.go.
+//
+// A finding may be suppressed with a directive on the same line, on the line
+// immediately above, or on the line immediately above the statement the
+// finding sits in (so a directive above a multi-line statement covers the
+// whole statement):
 //
 //	//lrlint:ignore <rule> <reason>
 //
@@ -43,6 +60,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding.
@@ -59,12 +77,27 @@ func (d Diagnostic) String() string {
 
 // Rule names, used in output and in //lrlint:ignore directives.
 const (
-	RuleWallclock  = "no-wallclock"
-	RuleGlobalRand = "no-global-rand"
-	RuleMapRange   = "map-range"
-	RuleErrcheck   = "unchecked-error"
-	RuleDirective  = "directive"
+	RuleWallclock   = "no-wallclock"
+	RuleGlobalRand  = "no-global-rand"
+	RuleMapRange    = "map-range"
+	RuleErrcheck    = "unchecked-error"
+	RuleTaint       = "verify-before-use"
+	RuleConcurrency = "harness-concurrency"
+	RuleRNG         = "rng-stream-discipline"
+	RuleDirective   = "directive"
 )
+
+// AllRules lists every rule name in catalog order.
+var AllRules = []string{
+	RuleWallclock,
+	RuleGlobalRand,
+	RuleMapRange,
+	RuleErrcheck,
+	RuleTaint,
+	RuleConcurrency,
+	RuleRNG,
+	RuleDirective,
+}
 
 // Config scopes the passes to package trees. Paths are module-relative
 // prefixes: an entry "internal/core" covers the package at that path and
@@ -79,9 +112,32 @@ type Config struct {
 	// ErrorCriticalPackages lists the packages where a swallowed error means
 	// accepting forged or corrupt data; unchecked-errors applies there.
 	ErrorCriticalPackages []string
+	// TaintPackages lists the protocol packages where received-packet data
+	// must be verified before it is stored or decoded; verify-before-use
+	// applies there.
+	TaintPackages []string
+	// ConcurrencyPackages lists the packages with real goroutine concurrency;
+	// harness-concurrency applies there.
+	ConcurrencyPackages []string
+	// Rules, when non-empty, restricts the run to the named rules (the
+	// directive pass always runs, so malformed directives never go dark).
+	Rules []string
 	// TrimPrefix, when non-empty, is stripped from diagnostic file names so
 	// output and golden files are stable across checkouts.
 	TrimPrefix string
+}
+
+// ruleEnabled applies the Rules filter.
+func (c Config) ruleEnabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	for _, r := range c.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns the repo's production scoping: the packages that
@@ -103,6 +159,18 @@ func DefaultConfig(modulePath string) Config {
 		ErrorCriticalPackages: []string{
 			"internal/crypt",
 			"internal/erasure",
+		},
+		TaintPackages: []string{
+			"internal/seluge",
+			"internal/core",
+			"internal/dissem",
+			"internal/deluge",
+			"internal/rateless",
+			"internal/packet",
+		},
+		ConcurrencyPackages: []string{
+			"internal/harness",
+			"internal/experiment",
 		},
 	}
 }
@@ -126,28 +194,24 @@ func isInternal(pkgPath string) bool {
 
 // Run applies every pass to every package and returns the surviving
 // findings sorted by position. Directive-suppressed findings are removed;
-// malformed directives are reported.
+// malformed directives are reported. Packages are analyzed concurrently —
+// each pass only reads its own package's immutable AST and type info — and
+// the final position sort makes the output order deterministic regardless of
+// scheduling.
 func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			perPkg[i] = runPackage(pkg, cfg)
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		dirs, bad := collectDirectives(pkg)
-		var raw []Diagnostic
-		if isInternal(pkg.ImportPath) {
-			raw = append(raw, checkWallclock(pkg)...)
-		}
-		raw = append(raw, checkGlobalRand(pkg)...)
-		if cfg.inScope(pkg.ImportPath, cfg.OrderedPackages) {
-			raw = append(raw, checkMapRange(pkg)...)
-		}
-		if cfg.inScope(pkg.ImportPath, cfg.ErrorCriticalPackages) {
-			raw = append(raw, checkErrors(pkg)...)
-		}
-		for _, d := range raw {
-			if !dirs.suppresses(d) {
-				diags = append(diags, d)
-			}
-		}
-		diags = append(diags, bad...)
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	for i := range diags {
 		if cfg.TrimPrefix != "" {
@@ -172,6 +236,41 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	return diags
 }
 
+// runPackage applies the scoped, rule-filtered passes to one package and
+// returns its surviving findings (unsorted, untrimmed).
+func runPackage(pkg *Package, cfg Config) []Diagnostic {
+	dirs, bad := collectDirectives(pkg)
+	var raw []Diagnostic
+	if cfg.ruleEnabled(RuleWallclock) && isInternal(pkg.ImportPath) {
+		raw = append(raw, checkWallclock(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleGlobalRand) {
+		raw = append(raw, checkGlobalRand(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleMapRange) && cfg.inScope(pkg.ImportPath, cfg.OrderedPackages) {
+		raw = append(raw, checkMapRange(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleErrcheck) && cfg.inScope(pkg.ImportPath, cfg.ErrorCriticalPackages) {
+		raw = append(raw, checkErrors(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleTaint) && cfg.inScope(pkg.ImportPath, cfg.TaintPackages) {
+		raw = append(raw, checkTaint(pkg, cfg)...)
+	}
+	if cfg.ruleEnabled(RuleConcurrency) && cfg.inScope(pkg.ImportPath, cfg.ConcurrencyPackages) {
+		raw = append(raw, checkConcurrency(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleRNG) {
+		raw = append(raw, checkRNG(pkg)...)
+	}
+	diags := bad
+	for _, d := range raw {
+		if !dirs.suppresses(d) {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
 // directive is one parsed //lrlint:ignore comment.
 type directive struct {
 	rule string
@@ -180,8 +279,10 @@ type directive struct {
 // directiveIndex maps file -> line -> directives in force on that line.
 type directiveIndex map[string]map[int][]directive
 
-// suppresses reports whether a directive for the finding's rule sits on the
-// finding's line or the line immediately above it.
+// suppresses reports whether a directive for the finding's rule is in force
+// on the finding's line or the line immediately above it. Directives written
+// above a multi-line statement are propagated onto every line of that
+// statement by expandSpans, so they reach findings anywhere inside it.
 func (idx directiveIndex) suppresses(d Diagnostic) bool {
 	lines := idx[d.Pos.Filename]
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
@@ -226,7 +327,48 @@ func collectDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 			}
 		}
 	}
+	idx.expandSpans(pkg)
 	return idx, bad
+}
+
+// expandSpans propagates a directive written on (or immediately above) the
+// first line of a multi-line SIMPLE statement onto every line the statement
+// spans, so a finding positioned on a continuation line — e.g. an argument
+// of a wrapped call — is still covered. Compound statements (if/for/switch
+// and friends) are deliberately excluded: a directive above an if must not
+// silence the whole body. Go-statement spans ARE covered, so one directive
+// can bless a whole `go func() { ... }()` worker when justified.
+func (idx directiveIndex) expandSpans(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt, *ast.ReturnStmt,
+				*ast.SendStmt, *ast.IncDecStmt, *ast.GoStmt, *ast.DeferStmt,
+				*ast.ValueSpec:
+			default:
+				return true
+			}
+			start := pkg.Fset.Position(n.Pos())
+			end := pkg.Fset.Position(n.End())
+			if end.Line <= start.Line {
+				return true
+			}
+			lines := idx[start.Filename]
+			if lines == nil {
+				return true
+			}
+			var covering []directive
+			covering = append(covering, lines[start.Line]...)
+			covering = append(covering, lines[start.Line-1]...)
+			if len(covering) == 0 {
+				return true
+			}
+			for ln := start.Line + 1; ln <= end.Line; ln++ {
+				lines[ln] = append(lines[ln], covering...)
+			}
+			return true
+		})
+	}
 }
 
 // walkNonTest visits every AST node of the package's (non-test) files.

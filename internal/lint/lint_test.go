@@ -25,6 +25,11 @@ var fixtureCases = []struct {
 	{"maprange_clean", "fix/internal/core/maprange_clean"},
 	{"errcheck_bad", "fix/internal/crypt/errcheck_bad"},
 	{"errcheck_clean", "fix/internal/crypt/errcheck_clean"},
+	{"conc_bad", "fix/internal/harness/conc_bad"},
+	{"conc_clean", "fix/internal/harness/conc_clean"},
+	{"rng_bad", "fix/internal/rng_bad"},
+	{"rng_clean", "fix/internal/rng_clean"},
+	{"directive_span_clean", "fix/internal/directive_span_clean"},
 }
 
 // TestFixtures runs the full pass suite over each fixture package and
@@ -72,6 +77,57 @@ func TestFixtures(t *testing.T) {
 				t.Errorf("clean fixture produced findings:\n%s", got)
 			}
 		})
+	}
+}
+
+// TestTaintModuleFixtures exercises verify-before-use over the mini-module
+// under testdata/src/taintmod: unlike the single-directory fixtures it needs
+// real cross-package types (packet.Data sources, internal/crypt verifiers,
+// an internal/erasure decoder sink), so the whole pretend module is loaded.
+// All findings must land in taint_bad — taint_clean plus the support
+// packages must stay silent — and the set is pinned by taintmod/expect.txt.
+func TestTaintModuleFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src", "taintmod")
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cfg := DefaultConfig(modPath)
+	cfg.TrimPrefix = absRoot
+	diags := Run(pkgs, cfg)
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Rule != RuleTaint {
+			t.Errorf("non-taint finding in taint fixture module: %s", d)
+		}
+		if !strings.Contains(filepath.ToSlash(d.Pos.Filename), "taint_bad/") {
+			t.Errorf("finding outside taint_bad: %s", d)
+		}
+	}
+	got := sb.String()
+	if !strings.Contains(got, "erasure decoder") {
+		t.Error("decode-before-verify bug was not caught")
+	}
+
+	golden := filepath.Join(root, "expect.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 

@@ -12,7 +12,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package of the module under
@@ -28,24 +30,31 @@ type Package struct {
 	Info       *types.Info
 }
 
-// loader type-checks module packages in dependency order. Imports outside
-// the module (the standard library) are resolved from source via
-// go/importer's "source" compiler, keeping the tool free of external
-// dependencies and of compiled export data.
+// loader parses and type-checks module packages. Parsing is embarrassingly
+// parallel (token.FileSet is documented concurrency-safe); type-checking
+// runs one goroutine per package over the import DAG, where each package's
+// check is wrapped in a sync.Once that importers of the package block on.
+// Imports outside the module (the standard library) are resolved from source
+// via go/importer's "source" compiler, keeping the tool free of external
+// dependencies and of compiled export data; that importer's thread-safety is
+// not documented, so calls into it are serialized behind extMu.
 type loader struct {
 	fset    *token.FileSet
 	ext     types.Importer
+	extMu   sync.Mutex
 	modPath string
 	modRoot string
-	srcs    map[string]*pkgSrc  // parsed but not yet checked, by import path
-	pkgs    map[string]*Package // checked, by import path
-	loading map[string]bool     // cycle guard
+	srcs    map[string]*pkgSrc // fully built before any type-checking starts
+	errMu   sync.Mutex
 	typeErr []error
 }
 
 type pkgSrc struct {
 	dir   string
 	files []*ast.File
+	once  sync.Once
+	pkg   *Package
+	err   error
 }
 
 // LoadModule parses and type-checks every non-test package under the module
@@ -64,11 +73,28 @@ func LoadModule(root string) ([]*Package, string, error) {
 	if err := ld.discover(); err != nil {
 		return nil, "", err
 	}
+	// Import cycles would deadlock the Once-based parallel check, so reject
+	// them up front from the parsed import declarations.
+	if err := ld.checkCycles(); err != nil {
+		return nil, "", err
+	}
 	paths := make([]string, 0, len(ld.srcs))
 	for p := range ld.srcs {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	var wg sync.WaitGroup
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			// Results and errors are cached in the pkgSrc Once and re-read
+			// below in sorted order, so first-error reporting stays
+			// deterministic regardless of which goroutine checked first.
+			_, _ = ld.check(p)
+		}(p)
+	}
+	wg.Wait()
 	out := make([]*Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := ld.check(p)
@@ -115,8 +141,6 @@ func newLoader(modPath, modRoot string) *loader {
 		modPath: modPath,
 		modRoot: modRoot,
 		srcs:    make(map[string]*pkgSrc),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
 	}
 }
 
@@ -135,11 +159,13 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
-// discover walks the module tree, parsing every package directory. testdata,
-// vendor, and hidden directories are skipped, as is anything that is not a
-// non-test .go file.
+// discover walks the module tree collecting package directories, then parses
+// them in parallel. testdata, vendor, and hidden directories are skipped, as
+// is anything that is not a non-test .go file.
 func (ld *loader) discover() error {
-	return filepath.WalkDir(ld.modRoot, func(path string, d os.DirEntry, err error) error {
+	type pkgDir struct{ dir, importPath string }
+	var dirs []pkgDir
+	err := filepath.WalkDir(ld.modRoot, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -150,13 +176,6 @@ func (ld *loader) discover() error {
 		if path != ld.modRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		files, err := ld.parseDir(path)
-		if err != nil {
-			return err
-		}
-		if len(files) == 0 {
-			return nil
-		}
 		rel, err := filepath.Rel(ld.modRoot, path)
 		if err != nil {
 			return err
@@ -165,9 +184,42 @@ func (ld *loader) discover() error {
 		if rel != "." {
 			ip = ld.modPath + "/" + filepath.ToSlash(rel)
 		}
-		ld.srcs[ip] = &pkgSrc{dir: path, files: files}
+		dirs = append(dirs, pkgDir{dir: path, importPath: ip})
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	// Parallel parse, bounded by core count. Results land in a slice indexed
+	// by position, then move into the srcs map on this goroutine.
+	type parsed struct {
+		files []*ast.File
+		err   error
+	}
+	results := make([]parsed, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pd := range dirs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, dir string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			files, err := ld.parseDir(dir)
+			results[i] = parsed{files: files, err: err}
+		}(i, pd.dir)
+	}
+	wg.Wait()
+	for i, pd := range dirs {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		if len(results[i].files) == 0 {
+			continue
+		}
+		ld.srcs[pd.importPath] = &pkgSrc{dir: pd.dir, files: results[i].files}
+	}
+	return nil
 }
 
 // parseDir parses the non-test .go files of one directory.
@@ -191,22 +243,84 @@ func (ld *loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// check type-checks one discovered package (and, recursively, its
-// intra-module dependencies).
-func (ld *loader) check(path string) (*Package, error) {
-	if pkg, ok := ld.pkgs[path]; ok {
-		return pkg, nil
+// intraModuleImports reads a package's intra-module import paths from its
+// parsed files.
+func (ld *loader) intraModuleImports(src *pkgSrc) []string {
+	var out []string
+	for _, f := range src.files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == ld.modPath || strings.HasPrefix(p, ld.modPath+"/") {
+				out = append(out, p)
+			}
+		}
 	}
+	return out
+}
+
+// checkCycles rejects import cycles among the discovered packages with a
+// three-color DFS over the parsed import declarations.
+func (ld *loader) checkCycles() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case black:
+			return nil
+		}
+		color[path] = gray
+		if src, ok := ld.srcs[path]; ok {
+			for _, dep := range ld.intraModuleImports(src) {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[path] = black
+		return nil
+	}
+	paths := make([]string, 0, len(ld.srcs))
+	for p := range ld.srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// check type-checks one discovered package exactly once; concurrent callers
+// (importers of the package running on other goroutines) block on the Once
+// until the result is ready.
+func (ld *loader) check(path string) (*Package, error) {
 	src, ok := ld.srcs[path]
 	if !ok {
 		return nil, fmt.Errorf("lint: package %s not found in module %s", path, ld.modPath)
 	}
-	if ld.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
-	}
-	ld.loading[path] = true
-	defer delete(ld.loading, path)
+	src.once.Do(func() {
+		src.pkg, src.err = ld.typecheck(path, src)
+	})
+	return src.pkg, src.err
+}
 
+// typecheck runs the go/types checker over one package. Each invocation owns
+// its types.Info and types.Config; the shared FileSet is concurrency-safe,
+// and dependency packages are obtained through Import (below), which
+// serializes on each dep's Once.
+func (ld *loader) typecheck(path string, src *pkgSrc) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -219,26 +333,28 @@ func (ld *loader) check(path string) (*Package, error) {
 		FakeImportC:              true,
 		DisableUnusedImportCheck: true,
 		Error: func(err error) {
+			ld.errMu.Lock()
+			defer ld.errMu.Unlock()
 			if len(ld.typeErr) < 20 {
 				ld.typeErr = append(ld.typeErr, err)
 			}
 		},
 	}
 	tpkg, _ := conf.Check(path, ld.fset, src.files, info)
-	pkg := &Package{
+	return &Package{
 		ImportPath: path,
 		Dir:        src.dir,
 		Fset:       ld.fset,
 		Files:      src.files,
 		Types:      tpkg,
 		Info:       info,
-	}
-	ld.pkgs[path] = pkg
-	return pkg, nil
+	}, nil
 }
 
 // Import implements types.Importer: intra-module imports resolve through the
-// loader's own cache; everything else falls through to the source importer.
+// loader's own Once-guarded cache; everything else falls through to the
+// source importer, serialized because its internal caches are not documented
+// as concurrency-safe.
 func (ld *loader) Import(path string) (*types.Package, error) {
 	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
 		pkg, err := ld.check(path)
@@ -247,5 +363,7 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	ld.extMu.Lock()
+	defer ld.extMu.Unlock()
 	return ld.ext.Import(path)
 }

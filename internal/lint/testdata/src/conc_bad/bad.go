@@ -1,0 +1,39 @@
+// Package concbad holds the harness-concurrency violations: worker-pool
+// goroutines writing captured shared state without a mutex.
+package concbad
+
+import "sync"
+
+// Results demonstrates the classic fan-out race: every worker writes the
+// captured slice, counter, and map directly.
+func Results(jobs []int) ([]int, int) {
+	out := make([]int, len(jobs))
+	seen := make(map[int]bool)
+	total := 0
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			out[i] = j * j // want: write through captured slice
+			total += j     // want: captured counter
+			seen[j] = true // want: write through captured map
+		}(i, j)
+	}
+	wg.Wait()
+	return out, total
+}
+
+// Latest demonstrates the ASSIGN-form range clause writing a captured
+// variable on every iteration.
+func Latest(ch chan int) int {
+	last := 0
+	done := make(chan struct{})
+	go func() {
+		for last = range ch { // want: ASSIGN-form range write
+		}
+		close(done)
+	}()
+	<-done
+	return last
+}

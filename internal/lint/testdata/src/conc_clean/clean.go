@@ -1,0 +1,65 @@
+// Package concclean holds the blessed concurrency shapes: channel-mediated
+// results merged on the caller's goroutine, mutex-guarded shared writes, and
+// goroutine-local state. The harness-concurrency pass must stay silent here.
+package concclean
+
+import "sync"
+
+// Results is the ordered-merge discipline the production harness uses:
+// workers only SEND; the caller's goroutine owns the output slice.
+func Results(jobs []int) []int {
+	type res struct{ i, v int }
+	resCh := make(chan res)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			v := j * j // goroutine-local
+			resCh <- res{i: i, v: v}
+		}(i, j)
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+	out := make([]int, len(jobs))
+	for r := range resCh {
+		out[r.i] = r.v // merge on the caller's goroutine
+	}
+	return out
+}
+
+// Guarded shows a mutex-held shared write, which the pass accepts.
+func Guarded(jobs []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			mu.Lock()
+			total += j
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return total
+}
+
+// DeferGuarded holds the lock via defer for the goroutine's whole body.
+func DeferGuarded(jobs []int, state map[int]int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			state[j] = j * j
+		}(j)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,23 @@
+// Package directivespan is the regression fixture for directive statement-
+// span coverage: the //lrlint:ignore sits on the line above a MULTI-LINE
+// statement, while the flagged call is on a continuation line further down.
+// Before the span fix only findings on the directive's line or the next line
+// were suppressed, so this leaked a no-wallclock finding.
+package directivespan
+
+import "time"
+
+// Deadline stamps orchestration metadata; the wall-clock read is a
+// documented exception wrapped across several lines.
+func Deadline(budget time.Duration) time.Time {
+	//lrlint:ignore no-wallclock fixture pins directive coverage across a wrapped multi-line statement
+	deadline := at(
+		time.Now(),
+		budget,
+	)
+	return deadline
+}
+
+func at(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

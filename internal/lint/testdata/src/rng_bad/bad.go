@@ -1,0 +1,47 @@
+// Package rngbad holds the rng-stream-discipline violations: package-level
+// stream state, exported stream surfaces, a shared source feeding two
+// streams, and a constant seed.
+package rngbad
+
+import "math/rand"
+
+// want: package-level variable holds an RNG stream
+var sharedRNG *rand.Rand
+
+// want: package-level struct var transitively owning a stream is still
+// package state
+var defaultDraws = struct {
+	r *rand.Rand
+	n int
+}{}
+
+// Component exposes its stream through an exported field. want finding.
+type Component struct {
+	Stream *rand.Rand // want: exported field exposes a stream
+	seed   int64
+}
+
+// StreamOf leaks the internal stream to arbitrary callers. want finding.
+func StreamOf(c *Component) *rand.Rand {
+	return c.stream()
+}
+
+func (c *Component) stream() *rand.Rand {
+	return rand.New(rand.NewSource(c.seed))
+}
+
+// Entangled feeds one source into two rand.New streams; their draws
+// interleave and become schedule-order-sensitive. want finding on the second
+// rand.New.
+func Entangled(seed int64) (a, b float64) {
+	src := rand.NewSource(seed)
+	r1 := rand.New(src)
+	r2 := rand.New(src) // want: shared source
+	return r1.Float64(), r2.Float64()
+}
+
+// FixedSeed constructs a stream that ignores the scenario seed. want finding.
+func FixedSeed() float64 {
+	r := rand.New(rand.NewSource(42)) // want: constant seed
+	return r.Float64()
+}

@@ -1,0 +1,12 @@
+// Package hashx is the fixture hash package; a comparison against its Sum
+// output is a verification event for the taint pass.
+package hashx
+
+// Sum is a toy digest (NOT cryptographic — fixture only).
+func Sum(b []byte) [32]byte {
+	var out [32]byte
+	for i, c := range b {
+		out[i%32] ^= c
+	}
+	return out
+}

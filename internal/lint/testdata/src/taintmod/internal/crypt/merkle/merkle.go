@@ -1,0 +1,16 @@
+// Package merkle is the fixture Merkle package; its Verify call is a
+// verification event for the taint pass.
+package merkle
+
+import "fix/internal/crypt/hashx"
+
+// Verify checks a leaf against the root (toy logic — fixture only).
+func Verify(root [32]byte, leaf []byte, idx int, proof [][32]byte) bool {
+	h := hashx.Sum(leaf)
+	for _, p := range proof {
+		for i := range h {
+			h[i] ^= p[i]
+		}
+	}
+	return h == root && idx >= 0
+}

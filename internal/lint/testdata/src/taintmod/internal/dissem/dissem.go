@@ -1,0 +1,29 @@
+// Package dissem is the fixture protocol-core package: ingest result codes
+// and the signature-verification wrapper whose method names (FullVerify,
+// WeakCheck, ...) the taint pass recognizes as verification events.
+package dissem
+
+import (
+	"fix/internal/crypt/hashx"
+	"fix/internal/packet"
+)
+
+// IngestResult mirrors the production ingest outcome enum.
+type IngestResult int
+
+// Ingest outcomes.
+const (
+	Rejected IngestResult = iota
+	Stored
+	UnitComplete
+)
+
+// SigContext wraps signature verification state.
+type SigContext struct {
+	pub [32]byte
+}
+
+// FullVerify checks a signature packet (toy logic — fixture only).
+func (c *SigContext) FullVerify(s *packet.Sig) bool {
+	return hashx.Sum(s.Raw) == c.pub
+}

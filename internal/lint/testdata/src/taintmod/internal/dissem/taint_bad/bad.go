@@ -1,0 +1,66 @@
+// Package taintbad holds the verify-before-use violations the pass must
+// catch. Each function is one bug shape; the golden expect.txt pins the
+// findings.
+package taintbad
+
+import (
+	"fix/internal/crypt/hashx"
+	"fix/internal/crypt/merkle"
+	"fix/internal/dissem"
+	"fix/internal/erasure"
+	"fix/internal/packet"
+)
+
+// Handler mirrors the production page-assembly state.
+type Handler struct {
+	root  [32]byte
+	want  [32]byte
+	buf   [][]byte
+	pages [][]byte
+	codec *erasure.Codec
+}
+
+// IngestNever stores the payload with no verification at all.
+func (h *Handler) IngestNever(d *packet.Data) dissem.IngestResult {
+	h.buf[int(d.Index)] = d.Payload // want: unverified store
+	return dissem.Stored
+}
+
+// IngestLate buffers first and verifies after — the store has already
+// committed unauthenticated bytes by the time Verify runs.
+func (h *Handler) IngestLate(d *packet.Data) dissem.IngestResult {
+	idx := int(d.Index)
+	h.buf[idx] = append([]byte(nil), d.Payload...) // want: store before verify
+	if !merkle.Verify(h.root, d.Payload, idx, d.Proof) {
+		return dissem.Rejected
+	}
+	return dissem.Stored
+}
+
+// IngestDecode feeds unverified symbols straight into the erasure decoder —
+// the decode-before-verify bug the pass exists to catch: a flood of forged
+// symbols costs a decode each even though the hash check afterwards rejects
+// the result.
+func (h *Handler) IngestDecode(d *packet.Data) dissem.IngestResult {
+	shards := [][]byte{d.Payload}
+	page, err := h.codec.Decode(shards) // want: decode before verify
+	if err != nil {
+		return dissem.Rejected
+	}
+	if hashx.Sum(page) != h.want {
+		return dissem.Rejected
+	}
+	h.pages = append(h.pages, page) // verified by the hash compare above: no finding
+	return dissem.UnitComplete
+}
+
+// IngestRaw derives its data from packet.Unmarshal rather than a parameter;
+// the result is just as much a receive-path source.
+func (h *Handler) IngestRaw(frame []byte) dissem.IngestResult {
+	d, err := packet.Unmarshal(frame)
+	if err != nil {
+		return dissem.Rejected
+	}
+	h.buf[0] = d.Payload // want: unverified store of Unmarshal result
+	return dissem.Stored
+}

@@ -1,0 +1,28 @@
+// Package erasure is the fixture decoder; feeding its Decode entry point
+// unverified packet-derived data is a taint-pass sink.
+package erasure
+
+import "errors"
+
+// Codec is a toy k-of-k "code" (fixture only).
+type Codec struct {
+	k int
+}
+
+// New returns a codec expecting k shards.
+func New(k int) *Codec { return &Codec{k: k} }
+
+// Decode concatenates the shards; nil shards are an error.
+func (c *Codec) Decode(shards [][]byte) ([]byte, error) {
+	if len(shards) != c.k {
+		return nil, errors.New("wrong shard count")
+	}
+	var out []byte
+	for _, s := range shards {
+		if s == nil {
+			return nil, errors.New("missing shard")
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}

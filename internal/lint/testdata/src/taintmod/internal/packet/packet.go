@@ -1,0 +1,34 @@
+// Package packet is the fixture stand-in for the real wire-format package:
+// the taint pass identifies receive-path sources by the internal/packet path
+// suffix and the Data/Sig type names, so this mini-module exercises it
+// without importing the production tree.
+package packet
+
+import "errors"
+
+// Data is one received data packet.
+type Data struct {
+	Unit    uint16
+	Index   uint16
+	Payload []byte
+	Proof   [][32]byte
+}
+
+// Sig is one received signature packet.
+type Sig struct {
+	Root  [32]byte
+	Pages uint16
+	Raw   []byte
+}
+
+// Unmarshal parses a received frame; its result is a taint source.
+func Unmarshal(b []byte) (*Data, error) {
+	if len(b) < 4 {
+		return nil, errors.New("short packet")
+	}
+	return &Data{
+		Unit:    uint16(b[0])<<8 | uint16(b[1]),
+		Index:   uint16(b[2])<<8 | uint16(b[3]),
+		Payload: b[4:],
+	}, nil
+}

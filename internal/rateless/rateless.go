@@ -200,6 +200,7 @@ func (h *Handler) Ingest(d *packet.Data) dissem.IngestResult {
 	}
 	h.have[idx] = true
 	h.haveCnt++
+	//lrlint:ignore verify-before-use Rateless Deluge decodes unauthenticated LT symbols by design (paper §II-B, §VII); this decode-before-verify exposure is exactly the DoS vector LR-Seluge's immediate authentication closes
 	done, err := h.dec.AddSeed(symbolSeed(u, idx), d.Payload)
 	if err != nil {
 		return dissem.Rejected

@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# Expanded tier-1 gate: formatting, vet, build, lrlint, race-enabled tests,
-# lrsweep golden-JSONL diff, and the serial-vs-parallel sweep bench.
+# Expanded tier-1 gate: formatting, vet, build, lrlint (the JSON diagnostic
+# artifact is the gate — diffed against its committed golden, so any new
+# finding shows up in the diff — with the analyzer selfbench written to
+# BENCH_lint.json), race-enabled tests, lrsweep golden-JSONL diff, and the
+# serial-vs-parallel sweep bench.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -20,15 +23,18 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> lrlint ./..."
-go run ./cmd/lrlint ./...
+echo "==> lrlint -json artifact vs golden (and selfbench -> BENCH_lint.json)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+# `|| true`: when findings exist the diff below fails with the findings
+# visible in context, which is a more useful gate report than the bare exit.
+go run ./cmd/lrlint -json -selfbench BENCH_lint.json ./... > "$tmpdir/lint.json" || true
+diff -u cmd/lrlint/testdata/lint_clean.golden.json "$tmpdir/lint.json"
 
 echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> lrsweep smoke sweep vs golden"
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 2 -o "$tmpdir/smoke.jsonl"
 diff -u cmd/lrsweep/testdata/smoke_sweep.golden.jsonl "$tmpdir/smoke.jsonl"
 
