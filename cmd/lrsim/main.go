@@ -7,6 +7,7 @@
 //	lrsim -proto lr-seluge -kb 20 -receivers 20 -loss 0.1
 //	lrsim -proto seluge -topology grid -rows 15 -cols 15 -density medium -noise heavy
 //	lrsim -proto lr-seluge -k 32 -n 64 -loss 0.3 -policy fresh-rr
+//	lrsim -proto lr-seluge -kb 4 -receivers 5 -faults examples/faults/churn.json
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		k         = flag.Int("k", 32, "source blocks per page")
 		n         = flag.Int("n", 48, "encoded packets per page (LR-Seluge)")
 		policy    = flag.String("policy", "greedy-rr", "LR-Seluge TX policy: greedy-rr, union, fresh-rr")
+		faults    = flag.String("faults", "", "JSON fault-plan file (node churn, link outages, partitions)")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		runs      = flag.Int("runs", 1, "runs to average")
 		parallel  = flag.Int("parallel", 0, "harness workers for multi-run averaging (0 = GOMAXPROCS, 1 = serial)")
@@ -109,6 +111,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faults != "" {
+		plan, err := lrseluge.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsim: %v\n", err)
+			os.Exit(2)
+		}
+		s.Faults = plan
+	}
+
 	res, err := lrseluge.RunAvgParallel(s, *runs, *parallel)
 	if err != nil {
 		log.Fatal(err)
@@ -125,4 +136,11 @@ func main() {
 	fmt.Printf("signature packets: %.0f\n", res.SigPkts)
 	fmt.Printf("total bytes:       %.0f\n", res.TotalBytes)
 	fmt.Printf("latency:           %.1f s\n", res.LatencySec)
+	if *faults != "" {
+		fmt.Printf("crashes:           %.1f\n", res.Crashes)
+		fmt.Printf("node downtime:     %.1f s\n", res.Downtime)
+		fmt.Printf("recovery latency:  %.1f s\n", res.Recovery)
+		fmt.Printf("re-fetched pkts:   %.1f\n", res.Refetched)
+		fmt.Printf("fault drops:       %.1f\n", res.FaultDrops)
+	}
 }

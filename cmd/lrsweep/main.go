@@ -152,6 +152,13 @@ type benchReport struct {
 	SerialSHA256   string  `json:"serial_sha256"`
 	ParallelSHA256 string  `json:"parallel_sha256"`
 	Identical      bool    `json:"identical"`
+
+	// Completion-latency summary over the sweep's runs (virtual seconds),
+	// so the bench artifact doubles as a coarse regression check on the
+	// simulated protocol, not just on harness wall-clock.
+	LatencyMeanSec float64 `json:"latency_mean_sec"`
+	LatencyMinSec  float64 `json:"latency_min_sec"`
+	LatencyMaxSec  float64 `json:"latency_max_sec"`
 }
 
 // runSelfbench executes the sweep twice — 1 worker, then `parallel` workers
@@ -161,7 +168,7 @@ func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel i
 	if len(entries) == 0 {
 		return fmt.Errorf("sweep %q has no entries", sweep)
 	}
-	once := func(workers int) (float64, string, error) {
+	once := func(workers int) (float64, string, []harness.Record, error) {
 		h := sha256.New()
 		sink := harness.NewJSONLSink(h)
 		start := time.Now()
@@ -169,26 +176,27 @@ func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel i
 			harness.Config{Workers: workers, Timeout: timeout}, sink)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			return 0, "", err
+			return 0, "", nil, err
 		}
 		for _, r := range recs {
 			if r.Failed() {
-				return 0, "", fmt.Errorf("%s failed: %s", r.Job.Name, r.Err)
+				return 0, "", nil, fmt.Errorf("%s failed: %s", r.Job.Name, r.Err)
 			}
 		}
-		return elapsed, fmt.Sprintf("%x", h.Sum(nil)), nil
+		return elapsed, fmt.Sprintf("%x", h.Sum(nil)), recs, nil
 	}
 
 	jobs := sweepJobs(sweep, entries)
 	workers := effectiveWorkers(parallel, len(jobs))
-	serialSec, serialSum, err := once(1)
+	serialSec, serialSum, _, err := once(1)
 	if err != nil {
 		return err
 	}
-	parallelSec, parallelSum, err := once(workers)
+	parallelSec, parallelSum, recs, err := once(workers)
 	if err != nil {
 		return err
 	}
+	latMean, latMin, latMax := latencySummary(recs)
 	rep := benchReport{
 		Sweep:          sweep,
 		Jobs:           len(jobs),
@@ -201,6 +209,9 @@ func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel i
 		SerialSHA256:   serialSum,
 		ParallelSHA256: parallelSum,
 		Identical:      serialSum == parallelSum,
+		LatencyMeanSec: latMean,
+		LatencyMinSec:  latMin,
+		LatencyMaxSec:  latMax,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -216,4 +227,24 @@ func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel i
 		return fmt.Errorf("selfbench: serial and parallel JSONL differ (%s vs %s)", serialSum, parallelSum)
 	}
 	return nil
+}
+
+// latencySummary reduces the per-run completion latencies to mean/min/max
+// virtual seconds.
+func latencySummary(recs []harness.Record) (mean, min, max float64) {
+	if len(recs) == 0 {
+		return 0, 0, 0
+	}
+	sum := 0.0
+	for i, r := range recs {
+		v := r.Metric(experiment.MetricLatencySec)
+		sum += v
+		if i == 0 || v < min {
+			min = v
+		}
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return sum / float64(len(recs)), min, max
 }

@@ -121,6 +121,19 @@ func (h *Handler) resetCurrent() {
 	h.curCount = 0
 }
 
+// WipeVolatile implements dissem.ObjectHandler: a power loss discards the
+// RAM-resident partial assemblies (the in-progress page's shards, and the
+// hash page's shards if it was still being decoded). Everything else —
+// completed pages, the decoded hash page, the verified signature, and the
+// expected hash images for the current page (recomputable from the previous
+// flash-resident page's appendix) — lives in flash and survives.
+func (h *Handler) WipeVolatile() {
+	if !h.m0Done {
+		h.resetM0()
+	}
+	h.resetCurrent()
+}
+
 // Version implements dissem.ObjectHandler.
 func (h *Handler) Version() uint16 { return h.version }
 

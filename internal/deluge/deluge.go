@@ -95,6 +95,13 @@ func (h *Handler) resetCurrent() {
 	h.count = 0
 }
 
+// WipeVolatile implements dissem.ObjectHandler: a power loss discards the
+// in-progress page's RAM buffer; completed pages (and the page count learned
+// from advertisements, kept as image metadata) survive in flash.
+func (h *Handler) WipeVolatile() {
+	h.resetCurrent()
+}
+
 // Version implements dissem.ObjectHandler.
 func (h *Handler) Version() uint16 { return h.version }
 

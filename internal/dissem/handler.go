@@ -121,6 +121,14 @@ type ObjectHandler interface {
 	// SigPacket returns the signature packet if held (for serving unit 0),
 	// else nil.
 	SigPacket(src packet.NodeID) *packet.Sig
+
+	// WipeVolatile models a mote power loss: RAM-resident state — the
+	// partial assembly of the in-progress unit — is discarded, while
+	// flash-resident state (completed units, the verified signature, and
+	// authentication material derivable from completed units) survives.
+	// After the call, CompleteUnits is unchanged but the in-progress unit
+	// holds no packets.
+	WipeVolatile()
 }
 
 // TxPolicy chooses which packets a serving node transmits in response to

@@ -55,6 +55,19 @@ type Node struct {
 	markForged func(packet.NodeID) bool
 	onComplete func(packet.NodeID, sim.Time)
 	completed  bool
+	// reported latches the first completion: a node that crashes after
+	// completing re-derives completed from flash on reboot without firing
+	// the completion callback (or collector record) twice.
+	reported bool
+
+	// Power-cycle state (fault.Restartable). epoch invalidates callbacks
+	// scheduled before a crash (e.g. an in-flight signature verification);
+	// crashUnit/refetchArmed drive the re-fetch metric for the unit the
+	// crash interrupted.
+	down         bool
+	epoch        int
+	crashUnit    int
+	refetchArmed bool
 
 	// Version-upgrade support (see upgrade.go).
 	upgrader        Upgrader
@@ -136,6 +149,60 @@ func (n *Node) Stop() {
 	n.txTimer.Stop()
 }
 
+// Crash implements fault.Restartable: the mote loses power. All timers stop,
+// RAM protocol state (neighbor tables, request/serve state, the in-progress
+// unit's partial assembly) is wiped, and the epoch counter voids callbacks
+// already scheduled, such as an in-flight signature verification. Flash
+// contents — completed units and the verified signature — survive.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.epoch++
+	// Count the RAM-resident packets of the in-progress unit before the wipe
+	// discards them; each must be fetched again after reboot.
+	lost := 0
+	cu := n.handler.CompleteUnits()
+	if total := n.handler.TotalUnits(); total == 0 || cu < total {
+		for idx := 0; idx < n.handler.PacketsInUnit(cu); idx++ {
+			if n.handler.HasPacket(cu, idx) {
+				lost++
+			}
+		}
+	}
+	n.col.RecordCrash(n.id, n.eng.Now(), lost)
+	n.Stop()
+	n.handler.WipeVolatile()
+	n.policy.Reset()
+	n.servers = make(map[packet.NodeID]int)
+	n.served = make(map[servedKey]int)
+	n.ignored = make(map[servedKey]bool)
+	n.hasAdvertiser = false
+	n.requesting = false
+	n.suppressions = 0
+	n.retries = 0
+	n.txActive = false
+	n.sigPending = false
+	n.completed = false
+	n.crashUnit = cu
+	n.refetchArmed = lost > 0
+}
+
+// Reboot implements fault.Restartable: the mote powers back on and rejoins
+// the protocol from its flash-resident state, exactly as a real reboot
+// re-reads completed pages from external flash. A node that had completed
+// re-derives completion from flash without re-firing its callback.
+func (n *Node) Reboot() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.col.RecordReboot(n.id, n.eng.Now())
+	n.trk.Start()
+	n.checkComplete()
+}
+
 // advertise is the Trickle transmit callback (MAINTAIN state).
 func (n *Node) advertise() {
 	n.nw.Broadcast(n.id, &packet.Adv{
@@ -148,6 +215,12 @@ func (n *Node) advertise() {
 
 // HandlePacket implements radio.Receiver.
 func (n *Node) HandlePacket(from packet.NodeID, p packet.Packet) {
+	if n.down {
+		// A packet already in flight when the node lost power: the radio
+		// blocks future deliveries via the fault overlay, but propagation-
+		// delayed deliveries scheduled before the crash still land here.
+		return
+	}
 	switch pkt := p.(type) {
 	case *packet.Adv:
 		n.handleAdv(from, pkt)
@@ -271,6 +344,16 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 		// dropped with no effect (paper §IV-E).
 	default: // unit == next
 		res := n.handler.Ingest(d)
+		if n.refetchArmed {
+			if unit == n.crashUnit && (res == Stored || res == UnitComplete) {
+				// Re-downloading a packet the crash wiped from RAM: the
+				// measurable recovery cost of losing partial-unit state.
+				n.col.RecordRefetch()
+			}
+			if n.handler.CompleteUnits() > n.crashUnit {
+				n.refetchArmed = false
+			}
+		}
 		switch res {
 		case Rejected:
 			n.col.RecordAuthDrop()
@@ -315,9 +398,14 @@ func (n *Node) handleSig(from packet.NodeID, s *packet.Sig) {
 		return
 	}
 	// Charge the expensive verification as virtual time (1.12 s ECDSA on a
-	// Tmote Sky, paper §III-A).
+	// Tmote Sky, paper §III-A). The epoch guard voids the verification if
+	// the node loses power while it is in progress.
 	n.sigPending = true
+	epoch := n.epoch
 	n.eng.Schedule(n.cfg.SigVerifyDelay, func() {
+		if n.down || n.epoch != epoch {
+			return
+		}
 		n.sigPending = false
 		res := n.handler.IngestSig(s)
 		switch res {
@@ -483,6 +571,10 @@ func (n *Node) checkComplete() {
 		n.requesting = false
 		n.retryTimer.Stop()
 		n.snackTimer.Stop()
+		if n.reported {
+			return
+		}
+		n.reported = true
 		now := n.eng.Now()
 		n.col.RecordCompletion(n.id, now)
 		if n.onComplete != nil {

@@ -42,6 +42,7 @@ func (h *fakeHandler) PreVerifySig(*packet.Sig) bool             { return false 
 func (h *fakeHandler) IngestSig(*packet.Sig) dissem.IngestResult { return dissem.Stale }
 func (h *fakeHandler) SigPacket(packet.NodeID) *packet.Sig       { return nil }
 func (h *fakeHandler) Authentic(*packet.Data) bool               { return true }
+func (h *fakeHandler) WipeVolatile()                             { h.have = map[int]bool{} }
 
 func (h *fakeHandler) HasPacket(u, idx int) bool {
 	if u < h.complete {

@@ -39,6 +39,9 @@ func (n *Node) Upgrade(handler ObjectHandler, policy TxPolicy) {
 	n.served = make(map[servedKey]int)
 	n.ignored = make(map[servedKey]bool)
 	n.completed = false
+	// A new version is a new image: its completion must be reported even if
+	// the node already latched a completion for the previous version.
+	n.reported = false
 	n.trk.Reset()
 	n.checkComplete()
 }

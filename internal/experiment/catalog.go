@@ -5,6 +5,7 @@ import (
 
 	"lrseluge/internal/image"
 	"lrseluge/internal/radio"
+	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
 )
 
@@ -166,6 +167,30 @@ func sweepCatalog() []namedSweep {
 			desc: "scheduler ablation: greedy-RR vs union vs fresh-RR (§IV-D.3)",
 			build: func(s SweepSpec) ([]GridEntry, error) {
 				return ablationEntries(image.DefaultParams(), s.imageSize()/2, 20, 0.2, s.Runs, s.Seed), nil
+			},
+		},
+		{
+			name: "churn",
+			desc: "node churn: Seluge vs LR-Seluge latency/overhead vs crash rate (flash-retained pages)",
+			build: func(s SweepSpec) ([]GridEntry, error) {
+				rates := []float64{6, 12, 30, 60}
+				if s.Quick {
+					rates = []float64{12, 60}
+				}
+				horizon := sim.Time(s.dims(4, 1)) * 3600 * sim.Second
+				return churnEntries(image.DefaultParams(), s.imageSize(), s.dims(20, 5), rates, 0.1, horizon, s.Runs, s.Seed), nil
+			},
+		},
+		{
+			name: "outage",
+			desc: "link outages: Seluge vs LR-Seluge vs base-link outage duty cycle (60 s period)",
+			build: func(s SweepSpec) ([]GridEntry, error) {
+				duties := []float64{0.1, 0.25, 0.5}
+				if s.Quick {
+					duties = []float64{0.1, 0.5}
+				}
+				horizon := sim.Time(s.dims(4, 1)) * 3600 * sim.Second
+				return outageEntries(image.DefaultParams(), s.imageSize(), s.dims(20, 5), duties, 60*sim.Second, 0.1, horizon, s.Runs, s.Seed), nil
 			},
 		},
 	}

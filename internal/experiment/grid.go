@@ -26,6 +26,13 @@ const (
 	MetricChannelLosses    = "channel_losses"
 	MetricUnits            = "units"
 	MetricNodes            = "nodes"
+	MetricCrashes          = "crashes"
+	MetricReboots          = "reboots"
+	MetricCrashLostPkts    = "crash_lost_pkts"
+	MetricRefetchedPkts    = "refetched_pkts"
+	MetricFaultDrops       = "fault_drops"
+	MetricDowntimeSec      = "downtime_sec"
+	MetricRecoverySec      = "recovery_sec"
 )
 
 // MetricNames returns the per-run metric names in serialization order.
@@ -36,6 +43,9 @@ func MetricNames() []string {
 		MetricLatencySec, MetricImagesOK, MetricAuthDrops,
 		MetricPuzzleRejects, MetricSigVerifications, MetricForgedAccepted,
 		MetricChannelLosses, MetricUnits, MetricNodes,
+		MetricCrashes, MetricReboots, MetricCrashLostPkts,
+		MetricRefetchedPkts, MetricFaultDrops, MetricDowntimeSec,
+		MetricRecoverySec,
 	}
 }
 
@@ -65,6 +75,13 @@ func runMetrics(r Result) []harness.Metric {
 		{Name: MetricChannelLosses, Value: float64(r.ChannelLosses)},
 		{Name: MetricUnits, Value: float64(r.Units)},
 		{Name: MetricNodes, Value: float64(r.Nodes)},
+		{Name: MetricCrashes, Value: float64(r.Crashes)},
+		{Name: MetricReboots, Value: float64(r.Reboots)},
+		{Name: MetricCrashLostPkts, Value: float64(r.CrashLostPkts)},
+		{Name: MetricRefetchedPkts, Value: float64(r.RefetchedPkts)},
+		{Name: MetricFaultDrops, Value: float64(r.FaultDrops)},
+		{Name: MetricDowntimeSec, Value: r.DowntimeSec},
+		{Name: MetricRecoverySec, Value: r.RecoverySec},
 	}
 }
 
@@ -202,5 +219,10 @@ func avgFromAggregator(proto Protocol, runs int, a *harness.Aggregator) AvgResul
 		DataStd:    a.Std(MetricDataPkts),
 		BytesStd:   a.Std(MetricTotalBytes),
 		LatencyStd: a.Std(MetricLatencySec),
+		Crashes:    a.Mean(MetricCrashes),
+		Refetched:  a.Mean(MetricRefetchedPkts),
+		FaultDrops: a.Mean(MetricFaultDrops),
+		Downtime:   a.Mean(MetricDowntimeSec),
+		Recovery:   a.Mean(MetricRecoverySec),
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"lrseluge/internal/crypt/sign"
 	"lrseluge/internal/deluge"
 	"lrseluge/internal/dissem"
+	"lrseluge/internal/fault"
 	"lrseluge/internal/harness"
 	"lrseluge/internal/image"
 	"lrseluge/internal/metrics"
@@ -129,6 +130,17 @@ type Scenario struct {
 	// caller; no protocol node is created for them.
 	ExtraNodes int
 
+	// Faults, when set, is a fault plan installed before the run starts:
+	// node crashes/reboots, link outages, partitions (see internal/fault).
+	// For per-run plans in swept grids prefer FaultFactory, which receives
+	// the run's derived seed so repeated runs get independent fault timing.
+	Faults *fault.Plan
+
+	// FaultFactory, when set, builds the fault plan at run time from the
+	// run's seed and the protocol-node count (adversary slots excluded).
+	// Takes precedence over Faults.
+	FaultFactory func(seed int64, numNodes int) (*fault.Plan, error)
+
 	// Seed makes the run reproducible.
 	Seed int64
 
@@ -160,6 +172,17 @@ type Result struct {
 	ForgedAccepted   int64
 	ChannelLosses    int64
 
+	// Fault-injection outcomes (zero when the scenario has no fault plan).
+	Crashes       int64
+	Reboots       int64
+	CrashLostPkts int64
+	RefetchedPkts int64
+	FaultDrops    int64
+	DowntimeSec   float64
+	// RecoverySec is the mean reboot-to-completion latency over nodes that
+	// completed after rebooting.
+	RecoverySec float64
+
 	// ImagesOK is true when every completed node reconstructed the exact
 	// original image bytes.
 	ImagesOK bool
@@ -187,6 +210,10 @@ type env struct {
 	units       int
 	pageUnit0   int // first image-page unit (0 for Deluge, 2 for secure)
 	completed   int
+
+	// Fault injection, wired only when the scenario carries a fault plan.
+	faultOv  *radio.FaultOverlay
+	faultEng *fault.Engine
 }
 
 func (s *Scenario) withDefaults() Scenario {
@@ -393,6 +420,27 @@ func build(s Scenario) (*env, error) {
 	default:
 		return nil, fmt.Errorf("experiment: unknown protocol %d", s.Protocol)
 	}
+
+	plan := s.Faults
+	if s.FaultFactory != nil {
+		plan, err = s.FaultFactory(s.Seed, numNodes)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fault factory: %w", err)
+		}
+	}
+	if plan != nil {
+		e.faultOv = nw.InstallFaultOverlay()
+		e.faultEng, err = fault.NewEngine(eng, e.faultOv)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range e.nodes {
+			e.faultEng.Register(int(n.ID()), n)
+		}
+		if err := e.faultEng.Install(plan); err != nil {
+			return nil, fmt.Errorf("experiment: fault plan: %w", err)
+		}
+	}
 	return e, nil
 }
 
@@ -482,7 +530,16 @@ func (e *env) run() Result {
 		ForgedAccepted:   e.col.ForgedAccepted(),
 		ChannelLosses:    e.col.ChannelLosses(),
 		Units:            e.units,
+		Crashes:          e.col.Crashes(),
+		Reboots:          e.col.Reboots(),
+		CrashLostPkts:    e.col.CrashLostPkts(),
+		RefetchedPkts:    e.col.RefetchedPkts(),
+		DowntimeSec:      e.col.TotalDowntime().Seconds(),
+		RecoverySec:      e.col.MeanRecoveryLatencySec(),
 		ImagesOK:         true,
+	}
+	if e.faultOv != nil {
+		res.FaultDrops = e.faultOv.FaultDrops()
 	}
 	for _, h := range e.handlers {
 		got, err := h.ReassembledImage(len(e.imageData))

@@ -30,6 +30,13 @@ type AvgResult struct {
 	DataStd    float64
 	BytesStd   float64
 	LatencyStd float64
+
+	// Fault-injection averages (zero when the sweep has no fault plan).
+	Crashes    float64
+	Refetched  float64
+	FaultDrops float64
+	Downtime   float64 // seconds
+	Recovery   float64 // mean reboot-to-completion seconds
 }
 
 // RunAvg executes a scenario `runs` times with distinct seeds and averages

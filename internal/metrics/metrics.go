@@ -26,6 +26,15 @@ type Collector struct {
 
 	completion map[packet.NodeID]sim.Time
 
+	// Fault-injection counters (see internal/fault).
+	crashes       int64
+	reboots       int64
+	crashLostPkts int64                      // packets of in-progress units lost to crashes (RAM wiped)
+	refetched     int64                      // packets re-fetched for crash-interrupted units after reboot
+	downtime      sim.Time                   // sum of closed crash->reboot windows
+	lastCrash     map[packet.NodeID]sim.Time // open crash windows
+	lastReboot    map[packet.NodeID]sim.Time // most recent reboot per node
+
 	// Security counters.
 	authDrops        int64 // packets dropped by per-packet authentication
 	forgedAccepted   int64 // forged packets accepted (must stay zero)
@@ -44,6 +53,8 @@ func New() *Collector {
 		dataTxByUnit:  make(map[int]int64),
 		dataTxByIndex: make(map[[2]int]int64),
 		completion:    make(map[packet.NodeID]sim.Time),
+		lastCrash:     make(map[packet.NodeID]sim.Time),
+		lastReboot:    make(map[packet.NodeID]sim.Time),
 	}
 }
 
@@ -106,6 +117,66 @@ func (c *Collector) RecordCompletion(node packet.NodeID, t sim.Time) {
 	if _, ok := c.completion[node]; !ok {
 		c.completion[node] = t
 	}
+}
+
+// RecordCrash notes that node lost power at time t with lostPkts packets of
+// its in-progress unit wiped from RAM (flash-resident completed units are
+// retained and not counted).
+func (c *Collector) RecordCrash(node packet.NodeID, t sim.Time, lostPkts int) {
+	c.crashes++
+	c.crashLostPkts += int64(lostPkts)
+	c.lastCrash[node] = t
+}
+
+// RecordReboot notes that node powered back on at time t, closing its
+// downtime window.
+func (c *Collector) RecordReboot(node packet.NodeID, t sim.Time) {
+	c.reboots++
+	if at, ok := c.lastCrash[node]; ok {
+		c.downtime += t - at
+		delete(c.lastCrash, node)
+	}
+	c.lastReboot[node] = t
+}
+
+// RecordRefetch accounts one packet re-fetched after a reboot for the unit a
+// crash interrupted — the price of losing RAM assembly state. Packets of
+// flash-retained units are never re-fetched, so this counter measures the
+// crash recovery cost directly.
+func (c *Collector) RecordRefetch() { c.refetched++ }
+
+// Crashes returns the number of node crashes.
+func (c *Collector) Crashes() int64 { return c.crashes }
+
+// Reboots returns the number of node reboots.
+func (c *Collector) Reboots() int64 { return c.reboots }
+
+// CrashLostPkts returns the packets wiped from RAM across all crashes.
+func (c *Collector) CrashLostPkts() int64 { return c.crashLostPkts }
+
+// RefetchedPkts returns the packets re-fetched for crash-interrupted units.
+func (c *Collector) RefetchedPkts() int64 { return c.refetched }
+
+// TotalDowntime returns the summed duration of closed crash->reboot windows
+// (a node still down when the run ends contributes nothing).
+func (c *Collector) TotalDowntime() sim.Time { return c.downtime }
+
+// MeanRecoveryLatencySec returns the average time from a node's most recent
+// reboot to its completion, over nodes that completed after rebooting — the
+// fault subsystem's recovery-latency measure. Zero when no node recovered.
+func (c *Collector) MeanRecoveryLatencySec() float64 {
+	var sum sim.Time
+	var n int
+	for node, rebootAt := range c.lastReboot {
+		if done, ok := c.completion[node]; ok && done >= rebootAt {
+			sum += done - rebootAt
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum.Seconds() / float64(n)
 }
 
 // Tx returns the number of transmissions of the given type.

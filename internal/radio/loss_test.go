@@ -1,0 +1,133 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+func TestNoLossEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NoLoss{}
+	for i := 0; i < 1000; i++ {
+		if m.Drop(0, 1, 1.0, 0, rng) {
+			t.Fatal("NoLoss dropped a packet on a perfect link")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if !m.Drop(0, 1, 0.0, 0, rng) {
+			t.Fatal("NoLoss delivered a packet on a zero-quality link")
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if m := (Bernoulli{P: 0}); m.Drop(0, 1, 1.0, 0, rng) {
+		t.Fatal("Bernoulli{0} dropped on a perfect link")
+	}
+	m := Bernoulli{P: 1}
+	for i := 0; i < 100; i++ {
+		if !m.Drop(0, 1, 1.0, 0, rng) {
+			t.Fatal("Bernoulli{1} delivered a packet")
+		}
+	}
+	// Empirical rate close to P on a perfect link.
+	m = Bernoulli{P: 0.3}
+	drops := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if m.Drop(0, 1, 1.0, 0, rng) {
+			drops++
+		}
+	}
+	got := float64(drops) / trials
+	if math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("Bernoulli{0.3} empirical drop rate %v", got)
+	}
+}
+
+// TestGilbertElliottStationaryBad checks the analytical stationary bad-state
+// probability and that the empirical drop rate over a long horizon matches
+// the mixture piBad*LossBad + (1-piBad)*LossGood.
+func TestGilbertElliottStationaryBad(t *testing.T) {
+	g := &GilbertElliott{
+		LossGood: 0.05,
+		LossBad:  0.85,
+		MeanGood: 3 * sim.Second,
+		MeanBad:  1 * sim.Second,
+	}
+	piBad := g.stationaryBad()
+	if want := 1.0 / 4.0; math.Abs(piBad-want) > 1e-12 {
+		t.Fatalf("stationaryBad = %v, want %v (MeanBad/(MeanGood+MeanBad))", piBad, want)
+	}
+	if (&GilbertElliott{}).stationaryBad() != 0 {
+		t.Fatal("degenerate chain must report zero bad probability")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	drops := 0
+	const trials = 60000
+	// Sample every 100 ms so the chain decorrelates between visits but still
+	// spends realistic sojourns in each state.
+	for i := 0; i < trials; i++ {
+		if g.Drop(0, 1, 1.0, sim.Time(i)*100*sim.Millisecond, rng) {
+			drops++
+		}
+	}
+	want := piBad*g.LossBad + (1-piBad)*g.LossGood // 0.25*0.85 + 0.75*0.05 = 0.25
+	got := float64(drops) / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical drop rate %v, want ~%v", got, want)
+	}
+}
+
+// TestGilbertElliottPerLinkIndependence checks that each directed link
+// carries its own chain: freezing one link in the bad state must not affect
+// another link's state.
+func TestGilbertElliottPerLinkIndependence(t *testing.T) {
+	g := &GilbertElliott{
+		LossGood: 0,
+		LossBad:  1,
+		MeanGood: 1000000 * sim.Second, // effectively frozen states
+		MeanBad:  1000000 * sim.Second,
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Seed many links; with piBad = 0.5 and frozen sojourns, some links start
+	// (and stay) bad while others start (and stay) good.
+	bad, good := 0, 0
+	for to := 1; to <= 64; to++ {
+		if g.Drop(0, to, 1.0, 0, rng) {
+			bad++
+		} else {
+			good++
+		}
+	}
+	if bad == 0 || good == 0 {
+		t.Fatalf("expected a mix of frozen states across links, got bad=%d good=%d", bad, good)
+	}
+	// The same links re-sampled immediately must repeat their state: the
+	// chains are per-link, not shared.
+	for round := 0; round < 3; round++ {
+		b2, g2 := 0, 0
+		for to := 1; to <= 64; to++ {
+			if g.Drop(0, to, 1.0, sim.Time(round)*sim.Millisecond, rng) {
+				b2++
+			} else {
+				g2++
+			}
+		}
+		if b2 != bad || g2 != good {
+			t.Fatalf("link states leaked across links: round %d bad=%d good=%d, want %d/%d", round, b2, g2, bad, good)
+		}
+	}
+	// Reverse direction is an independent chain: its state was never seeded
+	// by the forward draws above, so the map must gain new entries.
+	before := len(g.states)
+	g.Drop(1, 0, 1.0, 0, rng)
+	if len(g.states) != before+1 {
+		t.Fatal("reverse link shares the forward link's chain")
+	}
+}

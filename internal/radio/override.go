@@ -1,0 +1,128 @@
+package radio
+
+import (
+	"math/rand"
+
+	"lrseluge/internal/sim"
+)
+
+// FaultOverlay is a link-override layer the fault engine toggles: it wraps
+// (not replaces) the network's LossModel, deterministically dropping every
+// delivery that a current fault forbids — a down endpoint, an open link
+// outage window, or a partition boundary — and delegating everything else to
+// the wrapped channel model. Blocked deliveries never consume the inner
+// model's randomness, so a faulted run stays reproducible for a fixed plan.
+type FaultOverlay struct {
+	inner    LossModel
+	numNodes int
+
+	down     []bool
+	linkDown map[linkKey]bool
+
+	// partition assignment: group[id] is the node's cell, valid only while
+	// partitioned. Nodes not listed in any Partition group share the
+	// implicit remainder cell.
+	partitioned bool
+	group       []int
+
+	faultDrops int64
+}
+
+// newFaultOverlay wraps inner for a topology of numNodes nodes.
+func newFaultOverlay(inner LossModel, numNodes int) *FaultOverlay {
+	return &FaultOverlay{
+		inner:    inner,
+		numNodes: numNodes,
+		down:     make([]bool, numNodes),
+		linkDown: make(map[linkKey]bool),
+		group:    make([]int, numNodes),
+	}
+}
+
+// InstallFaultOverlay wraps the network's loss model in a fault overlay and
+// returns it; repeated calls return the already-installed overlay.
+func (nw *Network) InstallFaultOverlay() *FaultOverlay {
+	if nw.fault == nil {
+		nw.fault = newFaultOverlay(nw.loss, len(nw.nodes))
+		nw.loss = nw.fault
+	}
+	return nw.fault
+}
+
+// NumNodes returns the topology size the overlay guards.
+func (o *FaultOverlay) NumNodes() int { return o.numNodes }
+
+// SetNodeDown marks a node as powered off (true) or back on (false). A down
+// node neither transmits nor receives.
+func (o *FaultOverlay) SetNodeDown(id int, down bool) {
+	if id >= 0 && id < o.numNodes {
+		o.down[id] = down
+	}
+}
+
+// NodeDown reports whether a node is currently powered off.
+func (o *FaultOverlay) NodeDown(id int) bool {
+	return id >= 0 && id < o.numNodes && o.down[id]
+}
+
+// SetLinkDown opens (true) or closes (false) an outage window on the
+// directed link from->to.
+func (o *FaultOverlay) SetLinkDown(from, to int, down bool) {
+	key := linkKey{from: from, to: to}
+	if down {
+		o.linkDown[key] = true
+	} else {
+		delete(o.linkDown, key)
+	}
+}
+
+// SetPartition cuts the network along the given node-set boundary: packets
+// cross cells only after ClearPartition. Nodes listed in groups[i] join cell
+// i; unlisted nodes share the implicit remainder cell.
+func (o *FaultOverlay) SetPartition(groups [][]int) {
+	rest := len(groups)
+	for id := range o.group {
+		o.group[id] = rest
+	}
+	for gi, g := range groups {
+		for _, id := range g {
+			if id >= 0 && id < o.numNodes {
+				o.group[id] = gi
+			}
+		}
+	}
+	o.partitioned = true
+}
+
+// ClearPartition heals the current partition.
+func (o *FaultOverlay) ClearPartition() { o.partitioned = false }
+
+// Blocked reports whether a current fault forbids delivery from->to.
+func (o *FaultOverlay) Blocked(from, to int) bool {
+	if o.NodeDown(from) || o.NodeDown(to) {
+		return true
+	}
+	if len(o.linkDown) > 0 && o.linkDown[linkKey{from: from, to: to}] {
+		return true
+	}
+	if o.partitioned && from >= 0 && from < o.numNodes && to >= 0 && to < o.numNodes &&
+		o.group[from] != o.group[to] {
+		return true
+	}
+	return false
+}
+
+// FaultDrops returns how many delivery attempts the overlay blocked. These
+// drops are also counted in the collector's channel-loss total (the overlay
+// sits inside the loss-model call), so FaultDrops <= ChannelLosses.
+func (o *FaultOverlay) FaultDrops() int64 { return o.faultDrops }
+
+// Drop implements LossModel: block if a fault forbids the delivery,
+// otherwise delegate to the wrapped channel model.
+func (o *FaultOverlay) Drop(from, to int, linkQuality float64, now sim.Time, rng *rand.Rand) bool {
+	if o.Blocked(from, to) {
+		o.faultDrops++
+		return true
+	}
+	return o.inner.Drop(from, to, linkQuality, now, rng)
+}

@@ -1,0 +1,151 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrseluge/internal/metrics"
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+	"lrseluge/internal/topo"
+)
+
+// countingLoss counts delegated Drop calls, proving the overlay consumes no
+// inner randomness for blocked deliveries.
+type countingLoss struct {
+	calls int
+	drop  bool
+}
+
+func (c *countingLoss) Drop(_, _ int, _ float64, _ sim.Time, _ *rand.Rand) bool {
+	c.calls++
+	return c.drop
+}
+
+func newOverlayUnderTest(t *testing.T, nodes int, inner LossModel) (*Network, *FaultOverlay) {
+	t.Helper()
+	eng := sim.New()
+	g, err := topo.Complete(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(eng, g, inner, DefaultConfig(), metrics.New(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, nw.InstallFaultOverlay()
+}
+
+func TestInstallFaultOverlayIdempotent(t *testing.T) {
+	nw, ov := newOverlayUnderTest(t, 3, nil)
+	if nw.InstallFaultOverlay() != ov {
+		t.Fatal("second install returned a different overlay")
+	}
+	if ov.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", ov.NumNodes())
+	}
+}
+
+func TestOverlayBlocking(t *testing.T) {
+	inner := &countingLoss{}
+	_, ov := newOverlayUnderTest(t, 5, inner)
+	rng := rand.New(rand.NewSource(1))
+
+	if ov.Drop(0, 1, 1, 0, rng) {
+		t.Fatal("no fault active but delivery dropped")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner model not consulted: calls=%d", inner.calls)
+	}
+
+	// Down endpoints block both directions of every link touching the node.
+	ov.SetNodeDown(1, true)
+	if !ov.Blocked(0, 1) || !ov.Blocked(1, 0) || ov.Blocked(0, 2) {
+		t.Fatal("node-down blocking wrong")
+	}
+	if !ov.Drop(0, 1, 1, 0, rng) {
+		t.Fatal("delivery to a down node not dropped")
+	}
+	if inner.calls != 1 {
+		t.Fatal("blocked delivery consumed inner randomness")
+	}
+	ov.SetNodeDown(1, false)
+	if ov.Blocked(0, 1) {
+		t.Fatal("node still blocked after power-on")
+	}
+
+	// Directed link outages block only the listed direction.
+	ov.SetLinkDown(2, 3, true)
+	if !ov.Blocked(2, 3) || ov.Blocked(3, 2) {
+		t.Fatal("directed link outage wrong")
+	}
+	ov.SetLinkDown(2, 3, false)
+	if ov.Blocked(2, 3) {
+		t.Fatal("link still blocked after window closed")
+	}
+
+	// Partitions block across cells only; unlisted nodes share the remainder
+	// cell.
+	ov.SetPartition([][]int{{0, 1}, {2}})
+	if ov.Blocked(0, 1) || !ov.Blocked(0, 2) || !ov.Blocked(2, 3) || ov.Blocked(3, 4) {
+		t.Fatal("partition cells wrong")
+	}
+	ov.ClearPartition()
+	if ov.Blocked(0, 2) {
+		t.Fatal("partition survives heal")
+	}
+
+	if got := ov.FaultDrops(); got != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", got)
+	}
+
+	// Out-of-range ids never block (and never panic).
+	ov.SetNodeDown(99, true)
+	if ov.Blocked(99, 0) || ov.Blocked(0, 99) {
+		t.Fatal("out-of-range id blocked")
+	}
+}
+
+// TestOverlaySilencesDownSender checks the radio-level integration: a down
+// node neither starts transmissions nor completes in-flight ones.
+func TestOverlaySilencesDownSender(t *testing.T) {
+	nw, ov := newOverlayUnderTest(t, 2, nil)
+	eng := nw.Engine()
+	got := 0
+	if err := nw.Attach(1, receiverFunc(func(packet.NodeID, packet.Packet) { got++ })); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Attach(0, receiverFunc(func(packet.NodeID, packet.Packet) {})); err != nil {
+		t.Fatal(err)
+	}
+	adv := &packet.Adv{Src: 0, Version: 1}
+
+	// Down before keying: nothing is sent.
+	ov.SetNodeDown(0, true)
+	nw.Broadcast(0, adv)
+	eng.Run(sim.Second)
+	if got != 0 {
+		t.Fatalf("down sender delivered %d packets", got)
+	}
+
+	// Power lost mid-transmission: the packet dies on the air.
+	ov.SetNodeDown(0, false)
+	nw.Broadcast(0, adv)
+	eng.At(eng.Now()+sim.Millisecond, func() { ov.SetNodeDown(0, true) })
+	eng.Run(eng.Now() + sim.Second)
+	if got != 0 {
+		t.Fatalf("mid-transmission crash still delivered %d packets", got)
+	}
+
+	// Back up: traffic flows again.
+	ov.SetNodeDown(0, false)
+	nw.Broadcast(0, adv)
+	eng.Run(eng.Now() + sim.Second)
+	if got != 1 {
+		t.Fatalf("recovered sender delivered %d packets, want 1", got)
+	}
+}
+
+type receiverFunc func(packet.NodeID, packet.Packet)
+
+func (f receiverFunc) HandlePacket(from packet.NodeID, p packet.Packet) { f(from, p) }

@@ -66,6 +66,10 @@ type Network struct {
 	nodes     []Receiver
 	busyUntil []sim.Time
 
+	// fault, when installed, wraps loss and silences down nodes (see
+	// override.go).
+	fault *FaultOverlay
+
 	txObs TxObserver
 }
 
@@ -135,6 +139,9 @@ func (nw *Network) Broadcast(from packet.NodeID, p packet.Packet) {
 	if int(from) >= len(nw.nodes) {
 		panic(fmt.Sprintf("radio: broadcast from unknown node %d", from))
 	}
+	if nw.fault != nil && nw.fault.NodeDown(int(from)) {
+		return // a powered-off mote cannot key its radio
+	}
 	now := nw.eng.Now()
 	start := now
 	if nw.busyUntil[from] > start {
@@ -146,6 +153,9 @@ func (nw *Network) Broadcast(from packet.NodeID, p packet.Packet) {
 	nw.busyUntil[from] = done
 
 	nw.eng.At(done, func() {
+		if nw.fault != nil && nw.fault.NodeDown(int(from)) {
+			return // the sender lost power mid-transmission
+		}
 		nw.col.RecordTx(from, p)
 		if nw.txObs != nil {
 			nw.txObs(nw.eng.Now(), from, p)

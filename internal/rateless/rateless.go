@@ -147,6 +147,14 @@ func (h *Handler) resetCurrent() error {
 	return nil
 }
 
+// WipeVolatile implements dissem.ObjectHandler: a power loss discards the
+// in-progress page's LT decoder state; completed pages survive in flash. The
+// reset cannot fail here — the decoder parameters were validated when the
+// handler was built.
+func (h *Handler) WipeVolatile() {
+	_ = h.resetCurrent()
+}
+
 // Version implements dissem.ObjectHandler.
 func (h *Handler) Version() uint16 { return h.version }
 

@@ -94,6 +94,17 @@ func (h *Handler) resetCurrent() {
 	h.curCount = 0
 }
 
+// WipeVolatile implements dissem.ObjectHandler: a power loss discards the
+// in-progress page's RAM buffer (and the hash page's, if still incomplete);
+// completed pages, a complete hash page and the verified signature are
+// flash-resident and survive.
+func (h *Handler) WipeVolatile() {
+	if h.m0Count < h.geom.numBlocks {
+		h.resetM0()
+	}
+	h.resetCurrent()
+}
+
 // Version implements dissem.ObjectHandler.
 func (h *Handler) Version() uint16 { return h.version }
 

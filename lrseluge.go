@@ -41,6 +41,7 @@ package lrseluge
 import (
 	"lrseluge/internal/analysis"
 	"lrseluge/internal/experiment"
+	"lrseluge/internal/fault"
 	"lrseluge/internal/image"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
@@ -138,6 +139,40 @@ func BernoulliLoss(p float64) LossModel { return radio.Bernoulli{P: p} }
 // HeavyNoise returns a bursty Gilbert-Elliott channel, the stand-in for the
 // paper's meyer-heavy.txt multi-hop noise trace.
 func HeavyNoise() LossModel { return radio.HeavyNoise() }
+
+// Fault injection (Scenario.Faults).
+
+// FaultPlan is a validated, time-ordered fault scenario: node crashes and
+// reboots with flash-vs-RAM mote semantics, link outage windows, network
+// partitions and adversary-intensity ramps. Assign one to Scenario.Faults.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault in a plan.
+type FaultEvent = fault.Event
+
+// ChurnSpec parameterizes RandomChurn: exponential up/down times per node
+// drawn from a dedicated seeded stream.
+type ChurnSpec = fault.ChurnSpec
+
+// LoadFaultPlan reads and validates a JSON fault-plan file (see
+// examples/faults/).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.LoadPlan(path) }
+
+// RandomChurn draws a deterministic crash/reboot plan from the spec's seed;
+// the same spec always yields the same plan.
+func RandomChurn(spec ChurnSpec) (*FaultPlan, error) { return fault.RandomChurn(spec) }
+
+// ChurnComparison sweeps completion latency and overhead versus node crash
+// rate (crashes/hour) for LR-Seluge against Seluge.
+func ChurnComparison(params Params, imageSize, receivers int, rates []float64, p float64, horizon Time, runs int, seed int64) ([]ComparisonPoint, error) {
+	return experiment.ChurnComparison(params, imageSize, receivers, rates, p, horizon, runs, seed)
+}
+
+// OutageComparison sweeps the same metrics versus link outage duty-cycle on
+// the base station's links.
+func OutageComparison(params Params, imageSize, receivers int, duties []float64, period Time, p float64, horizon Time, runs int, seed int64) ([]ComparisonPoint, error) {
+	return experiment.OutageComparison(params, imageSize, receivers, duties, period, p, horizon, runs, seed)
+}
 
 // Closed-form models (paper §V).
 

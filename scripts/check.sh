@@ -2,8 +2,9 @@
 # Expanded tier-1 gate: formatting, vet, build, lrlint (the JSON diagnostic
 # artifact is the gate — diffed against its committed golden, so any new
 # finding shows up in the diff — with the analyzer selfbench written to
-# BENCH_lint.json), race-enabled tests, lrsweep golden-JSONL diff, and the
-# serial-vs-parallel sweep bench.
+# BENCH_lint.json), race-enabled tests, lrsweep golden-JSONL diff, the
+# serial-vs-parallel sweep bench, and the churn-sweep fault-injection bench
+# (BENCH_fault.json).
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -34,11 +35,17 @@ diff -u cmd/lrlint/testdata/lint_clean.golden.json "$tmpdir/lint.json"
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go test -race ./internal/harness/... ./internal/fault/... (concurrency-sensitive packages, verbose gate)"
+go test -race -count=1 ./internal/harness/... ./internal/fault/...
+
 echo "==> lrsweep smoke sweep vs golden"
 go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 2 -o "$tmpdir/smoke.jsonl"
 diff -u cmd/lrsweep/testdata/smoke_sweep.golden.jsonl "$tmpdir/smoke.jsonl"
 
 echo "==> lrsweep selfbench (serial vs parallel wall-clock -> BENCH_sweep.json)"
 go run ./cmd/lrsweep -sweep multihop -quick -runs 8 -parallel 8 -selfbench BENCH_sweep.json
+
+echo "==> lrsweep churn-sweep selfbench (fault subsystem -> BENCH_fault.json)"
+go run ./cmd/lrsweep -sweep churn -quick -runs 4 -parallel 4 -selfbench BENCH_fault.json
 
 echo "OK"
