@@ -42,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		runs      = flag.Int("runs", 1, "runs to average")
 		parallel  = flag.Int("parallel", 0, "harness workers for multi-run averaging (0 = GOMAXPROCS, 1 = serial)")
+		traceOut  = flag.String("trace", "", "write a JSONL protocol trace to this path (requires -runs 1; analyze with lrtrace)")
 	)
 	flag.Parse()
 
@@ -120,9 +121,31 @@ func main() {
 		s.Faults = plan
 	}
 
+	var traceFile *os.File
+	if *traceOut != "" {
+		// A trace is the event stream of ONE simulation; averaging several
+		// runs into a single file would interleave unrelated runs.
+		if *runs != 1 {
+			fmt.Fprintf(os.Stderr, "lrsim: -trace requires -runs 1 (got -runs %d)\n", *runs)
+			os.Exit(2)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsim: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		s.Trace = lrseluge.NewTraceJSONL(f)
+	}
+
 	res, err := lrseluge.RunAvgParallel(s, *runs, *parallel)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("protocol:          %v\n", s.Protocol)

@@ -9,6 +9,8 @@
 //	lrsweep -sweep multihop -quick -runs 8 -parallel 8 -o multihop.jsonl
 //	lrsweep -sweep fig4 -runs 3 -csv fig4.csv -o fig4.jsonl -progress
 //	lrsweep -sweep smoke -runs 4 -selfbench BENCH_sweep.json
+//	lrsweep -sweep smoke -quick -runs 2 -trace-dir traces/ -o smoke.jsonl
+//	lrsweep -sweep smoke -quick -runs 2 -tracebench BENCH_trace.json
 //
 // Exit codes: 0 success, 1 a run failed (panic/timeout/error; all other
 // records are still written), 2 usage errors such as an unknown sweep or
@@ -22,27 +24,38 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"lrseluge/internal/experiment"
 	"lrseluge/internal/harness"
+	"lrseluge/internal/trace"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		sweep     = flag.String("sweep", "", "named sweep to run (see -list)")
-		list      = flag.Bool("list", false, "list available sweeps and exit")
-		runs      = flag.Int("runs", 3, "seeds averaged per grid entry")
-		seed      = flag.Int64("seed", 1, "base RNG seed")
-		quick     = flag.Bool("quick", false, "smaller images/grids/axes for a fast pass")
-		parallel  = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget per run (0 = none); timed-out runs become failed records")
-		out       = flag.String("o", "", "JSONL output path ('' or '-' = stdout)")
-		csvPath   = flag.String("csv", "", "also write a CSV table to this path")
-		progress  = flag.Bool("progress", false, "report per-run progress on stderr")
-		selfbench = flag.String("selfbench", "", "benchmark mode: run the sweep serially then with -parallel workers, verify byte-identical JSONL, write timings to this JSON file")
+		sweep      = flag.String("sweep", "", "named sweep to run (see -list)")
+		list       = flag.Bool("list", false, "list available sweeps and exit")
+		runs       = flag.Int("runs", 3, "seeds averaged per grid entry")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		quick      = flag.Bool("quick", false, "smaller images/grids/axes for a fast pass")
+		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per run (0 = none); timed-out runs become failed records")
+		out        = flag.String("o", "", "JSONL output path ('' or '-' = stdout)")
+		csvPath    = flag.String("csv", "", "also write a CSV table to this path")
+		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
+		selfbench  = flag.String("selfbench", "", "benchmark mode: run the sweep serially then with -parallel workers, verify byte-identical JSONL, write timings to this JSON file")
+		traceDir   = flag.String("trace-dir", "", "write one JSONL protocol trace per run into this directory (analyze with lrtrace)")
+		tracebench = flag.String("tracebench", "", "benchmark mode: run the sweep untraced twice then traced, verify identical metrics, write tracer-overhead timings to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 	)
 	flag.Parse()
 
@@ -51,24 +64,48 @@ func main() {
 		for _, name := range experiment.SweepNames() {
 			fmt.Printf("  %-16s %s\n", name, experiment.SweepDescription(name))
 		}
-		return
+		return 0
 	}
 	if *sweep == "" {
 		fmt.Fprintf(os.Stderr, "lrsweep: -sweep is required (one of %s); see -list\n", strings.Join(experiment.SweepNames(), ", "))
-		os.Exit(2)
+		return 2
 	}
 	entries, err := experiment.NamedSweep(*sweep, experiment.SweepSpec{Runs: *runs, Seed: *seed, Quick: *quick})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 
 	if *selfbench != "" {
 		if err := runSelfbench(*selfbench, *sweep, entries, *parallel, *timeout); err != nil {
 			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
+	}
+	if *tracebench != "" {
+		if err := runTracebench(*tracebench, *sweep, entries, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	jsonlOut := io.Writer(os.Stdout)
@@ -76,7 +113,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		jsonlOut = f
@@ -86,10 +123,28 @@ func main() {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		sinks = append(sinks, harness.NewCSVSink(f, experiment.MetricNames()))
+	}
+
+	runFn := experiment.GridRunFunc
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		dir := *traceDir
+		// One file per job, named by job index: every run owns its file, so
+		// the trace bytes stay worker-count invariant.
+		runFn = experiment.TracedRunFunc(func(j harness.Job) (trace.Sink, func() error, error) {
+			f, err := os.Create(filepath.Join(dir, traceFileName(j)))
+			if err != nil {
+				return nil, nil, err
+			}
+			return trace.NewJSONLSink(f), f.Close, nil
+		})
 	}
 
 	cfg := harness.Config{Workers: *parallel, Timeout: *timeout}
@@ -104,10 +159,10 @@ func main() {
 				done, total, r.Job.Name, status, time.Since(start).Seconds())
 		}
 	}
-	recs, err := harness.Run(sweepJobs(*sweep, entries), experiment.GridRunFunc, cfg, sinks...)
+	recs, err := harness.Run(sweepJobs(*sweep, entries), runFn, cfg, sinks...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	failed := 0
 	for _, r := range recs {
@@ -119,7 +174,39 @@ func main() {
 	fmt.Fprintf(os.Stderr, "lrsweep: %s: %d runs (%d failed) in %.1fs on %d workers\n",
 		*sweep, len(recs), failed, time.Since(start).Seconds(), effectiveWorkers(*parallel, len(recs)))
 	if failed > 0 {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// traceFileName maps a job onto its trace file: the job index keeps names
+// unique and sorted in job order, the sanitized job name keeps them readable.
+func traceFileName(j harness.Job) string {
+	name := make([]byte, 0, len(j.Name))
+	for i := 0; i < len(j.Name); i++ {
+		c := j.Name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '=', c == '-':
+			name = append(name, c)
+		default:
+			name = append(name, '-')
+		}
+	}
+	return fmt.Sprintf("%04d-%s.jsonl", j.Index, name)
+}
+
+// writeMemProfile snapshots the heap after a final GC.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
 	}
 }
 
@@ -227,6 +314,128 @@ func runSelfbench(path, sweep string, entries []experiment.GridEntry, parallel i
 		return fmt.Errorf("selfbench: serial and parallel JSONL differ (%s vs %s)", serialSum, parallelSum)
 	}
 	return nil
+}
+
+// traceBenchReport is the schema of the -tracebench JSON artifact
+// (BENCH_trace.json in check.sh).
+type traceBenchReport struct {
+	Sweep string `json:"sweep"`
+	Jobs  int    `json:"jobs"`
+	Cores int    `json:"cores"`
+
+	// Two serial untraced passes bound the wall-clock noise floor, then one
+	// serial traced pass (counting sink) measures the tracer's full cost:
+	// event construction + emission, no I/O.
+	UntracedSec  [2]float64 `json:"untraced_sec"`
+	TracedSec    float64    `json:"traced_sec"`
+	NoiseFrac    float64    `json:"noise_frac"`
+	EventsTotal  uint64     `json:"events_total"`
+	EventsPerSec float64    `json:"events_per_sec"`
+	// TracedOverheadFrac is tracer-on vs tracer-off: traced/min(untraced)-1.
+	TracedOverheadFrac float64 `json:"traced_overhead_frac"`
+
+	// DisabledNsPerSite is the measured cost of one nil-tracer call (the
+	// price every event site pays when tracing is off), and
+	// DisabledOverheadFrac scales it by the run's event volume — the
+	// fraction of untraced wall-clock spent on disabled instrumentation.
+	DisabledNsPerSite    float64 `json:"disabled_ns_per_site"`
+	DisabledOverheadFrac float64 `json:"disabled_overhead_frac"`
+
+	// MetricsIdentical is true when all three passes produced byte-identical
+	// metrics JSONL: tracing must never change simulation results.
+	MetricsIdentical bool `json:"metrics_identical"`
+}
+
+// runTracebench measures the tracer's overhead on a real sweep: two serial
+// untraced passes, one serial traced pass, and a nil-call microbenchmark,
+// verifying along the way that tracing leaves the metrics byte-identical.
+func runTracebench(path, sweep string, entries []experiment.GridEntry, timeout time.Duration) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("sweep %q has no entries", sweep)
+	}
+	jobs := sweepJobs(sweep, entries)
+	once := func(runFn harness.RunFunc) (float64, string, error) {
+		h := sha256.New()
+		sink := harness.NewJSONLSink(h)
+		start := time.Now()
+		recs, err := harness.Run(jobs, runFn, harness.Config{Workers: 1, Timeout: timeout}, sink)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return 0, "", err
+		}
+		for _, r := range recs {
+			if r.Failed() {
+				return 0, "", fmt.Errorf("%s failed: %s", r.Job.Name, r.Err)
+			}
+		}
+		return elapsed, fmt.Sprintf("%x", h.Sum(nil)), nil
+	}
+
+	u1, sum1, err := once(experiment.GridRunFunc)
+	if err != nil {
+		return err
+	}
+	u2, sum2, err := once(experiment.GridRunFunc)
+	if err != nil {
+		return err
+	}
+	var events uint64
+	traced := experiment.TracedRunFunc(func(harness.Job) (trace.Sink, func() error, error) {
+		c := &trace.Count{}
+		// Serial pass (workers=1): the close funcs never run concurrently.
+		return c, func() error { events += c.Total(); return nil }, nil
+	})
+	t, sum3, err := once(traced)
+	if err != nil {
+		return err
+	}
+
+	minU := u1
+	if u2 < minU {
+		minU = u2
+	}
+	nilNs := nilCallNs()
+	rep := traceBenchReport{
+		Sweep:                sweep,
+		Jobs:                 len(jobs),
+		Cores:                runtime.NumCPU(),
+		UntracedSec:          [2]float64{u1, u2},
+		TracedSec:            t,
+		NoiseFrac:            (u1 + u2 - 2*minU) / minU,
+		EventsTotal:          events,
+		EventsPerSec:         float64(events) / t,
+		TracedOverheadFrac:   t/minU - 1,
+		DisabledNsPerSite:    nilNs,
+		DisabledOverheadFrac: nilNs * float64(events) / (minU * 1e9),
+		MetricsIdentical:     sum1 == sum2 && sum2 == sum3,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lrsweep: tracebench %s: untraced %.2fs/%.2fs, traced %.2fs (+%.1f%%), %d events (%.0f/s), disabled site %.2fns (%.4f%% of run), identical=%v -> %s\n",
+		sweep, u1, u2, t, 100*rep.TracedOverheadFrac, events, rep.EventsPerSec,
+		nilNs, 100*rep.DisabledOverheadFrac, rep.MetricsIdentical, path)
+	if !rep.MetricsIdentical {
+		return fmt.Errorf("tracebench: tracing changed the metrics JSONL (%s / %s / %s)", sum1, sum2, sum3)
+	}
+	return nil
+}
+
+// nilCallNs times one disabled-tracer call: the per-site cost instrumented
+// protocol code pays when tracing is off.
+func nilCallNs() float64 {
+	var tr *trace.Tracer
+	const iters = 20_000_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		tr.Fault("", i, i, 0)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
 }
 
 // latencySummary reduces the per-run completion latencies to mean/min/max

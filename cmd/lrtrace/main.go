@@ -1,0 +1,331 @@
+// Command lrtrace analyzes JSONL protocol traces produced by the simulator
+// (lrsim -trace, lrsweep -trace-dir, Scenario.Trace). All output is a
+// deterministic function of the input bytes, so every rendering can be
+// pinned against goldens.
+//
+// Subcommands:
+//
+//	lrtrace summary [-json] trace.jsonl        event counts + drop histogram
+//	lrtrace timeline [-node N] trace.jsonl     human-readable event log
+//	lrtrace latency [-csv out.csv] trace.jsonl completion CDF + fetch latencies
+//	lrtrace convert -chrome [-o out.json] trace.jsonl  Perfetto/Chrome export
+//	lrtrace diff a.jsonl b.jsonl               count/latency deltas
+//
+// Exit codes: 0 success, 1 I/O or decode errors, 2 usage errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"lrseluge/internal/sim"
+	"lrseluge/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() int {
+	fmt.Fprint(os.Stderr, `usage: lrtrace <command> [flags] <trace.jsonl>
+
+commands:
+  summary   [-json] trace.jsonl          event counts and drop-reason histogram
+  timeline  [-node N] trace.jsonl        human-readable per-event log
+  latency   [-csv out.csv] trace.jsonl   completion CDF; page-fetch latency CSV
+  convert   -chrome [-o out] trace.jsonl Chrome trace_event JSON (Perfetto)
+  diff      a.jsonl b.jsonl              event-count and latency deltas
+`)
+	return 2
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "summary":
+		return cmdSummary(args[1:])
+	case "timeline":
+		return cmdTimeline(args[1:])
+	case "latency":
+		return cmdLatency(args[1:])
+	case "convert":
+		return cmdConvert(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "lrtrace: unknown command %q\n", args[0])
+		return usage()
+	}
+}
+
+// load reads and decodes one trace file ("-" = stdin).
+func load(path string) ([]trace.Event, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// fail prints err and returns the error exit code.
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "lrtrace: %v\n", err)
+	return 1
+}
+
+func cmdSummary(args []string) int {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the deterministic JSON rendering")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	s := trace.Summarize(events)
+	if *asJSON {
+		os.Stdout.Write(append(s.AppendJSON(nil), '\n'))
+		return 0
+	}
+	fmt.Printf("schema:      %d\n", s.SchemaV)
+	fmt.Printf("events:      %d\n", s.Events)
+	fmt.Printf("nodes:       %d\n", len(s.Nodes))
+	fmt.Printf("span:        %.3fs .. %.3fs\n", s.FirstAt.Seconds(), s.LastAt.Seconds())
+	fmt.Printf("completions: %d\n", s.Completions)
+	fmt.Printf("faults:      %d\n", s.Faults)
+	fmt.Println("kinds:")
+	for _, kc := range s.Kinds {
+		fmt.Printf("  %-16s %d\n", kc.Kind, kc.N)
+	}
+	if len(s.Drops) > 0 {
+		fmt.Println("drops:")
+		for _, rc := range s.Drops {
+			fmt.Printf("  %-16s %d\n", rc.Reason, rc.N)
+		}
+	}
+	return 0
+}
+
+func cmdTimeline(args []string) int {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	node := fs.Int("node", trace.NoNode, "only events touching this node (as subject or peer)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	if *node != trace.NoNode {
+		events = trace.FilterNode(events, *node)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for _, e := range events {
+		fmt.Fprintf(w, "%12.6fs  %-14s %s\n", e.At.Seconds(), e.Kind, describe(e))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// describe renders the kind-specific fields of one event.
+func describe(e trace.Event) string {
+	pkt := func() string {
+		s := e.Pkt.String()
+		if e.Unit != trace.NoUnit {
+			s += fmt.Sprintf(" u%d", e.Unit)
+			if e.Index != trace.NoUnit {
+				s += fmt.Sprintf(".%d", e.Index)
+			}
+		}
+		return s
+	}
+	switch e.Kind {
+	case trace.KindTx:
+		return fmt.Sprintf("n%d -> *    %s", e.Node, pkt())
+	case trace.KindRx:
+		return fmt.Sprintf("n%d <- n%d  %s", e.Node, e.Peer, pkt())
+	case trace.KindDrop:
+		return fmt.Sprintf("n%d <- n%d  %s  reason=%s", e.Node, e.Peer, pkt(), e.Reason)
+	case trace.KindState:
+		return fmt.Sprintf("n%d %s: %s -> %s", e.Node, e.Name, e.From, e.To)
+	case trace.KindUnitFirst, trace.KindUnitDecodable, trace.KindUnitVerified, trace.KindUnitFlashed:
+		return fmt.Sprintf("n%d u%d", e.Node, e.Unit)
+	case trace.KindSigAccept, trace.KindSigReject:
+		return fmt.Sprintf("n%d <- n%d", e.Node, e.Peer)
+	case trace.KindComplete:
+		return fmt.Sprintf("n%d", e.Node)
+	case trace.KindFault:
+		s := e.Name
+		if e.Node != trace.NoNode {
+			s += fmt.Sprintf(" n%d", e.Node)
+		}
+		if e.Peer != trace.NoNode {
+			s += fmt.Sprintf("->n%d", e.Peer)
+		}
+		if e.Value != 0 {
+			s += " value=" + strconv.FormatFloat(e.Value, 'g', -1, 64)
+		}
+		return s
+	case trace.KindSpanBegin, trace.KindSpanEnd:
+		s := fmt.Sprintf("n%d %s #%d", e.Node, e.Name, e.Span)
+		if e.Unit != trace.NoUnit {
+			s += fmt.Sprintf(" u%d", e.Unit)
+		}
+		return s
+	default:
+		return ""
+	}
+}
+
+func cmdLatency(args []string) int {
+	fs := flag.NewFlagSet("latency", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "write per-page fetch latencies as CSV to this path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	comps := trace.Completions(events)
+	fmt.Println("completion CDF (time_sec frac node):")
+	for i, c := range comps {
+		fmt.Printf("%.6f %s %d\n", c.At.Seconds(),
+			formatFloat(float64(i+1)/float64(len(comps))), c.Node)
+	}
+	if len(comps) == 0 {
+		fmt.Println("(no completions)")
+	}
+	fetches := trace.Spans(events, "page-fetch")
+	if len(fetches) > 0 {
+		var total sim.Time
+		for _, f := range fetches {
+			total += f.Duration()
+		}
+		fmt.Printf("page fetches: %d, mean %.6fs\n",
+			len(fetches), total.Seconds()/float64(len(fetches)))
+	}
+	if *csvPath != "" {
+		if err := writeFetchCSV(*csvPath, fetches); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// writeFetchCSV emits node,unit,start_sec,end_sec,duration_sec rows, one per
+// completed page fetch, in span-begin order.
+func writeFetchCSV(path string, fetches []trace.Fetch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "node,unit,start_sec,end_sec,duration_sec")
+	for _, ft := range fetches {
+		fmt.Fprintf(w, "%d,%d,%s,%s,%s\n", ft.Node, ft.Unit,
+			formatFloat(ft.Start.Seconds()), formatFloat(ft.End.Seconds()),
+			formatFloat(ft.Duration().Seconds()))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// formatFloat is the repository's deterministic float rendering (shortest
+// round-trip form, matching the harness sinks).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func cmdConvert(args []string) int {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	chrome := fs.Bool("chrome", false, "emit Chrome trace_event JSON (open in Perfetto / chrome://tracing)")
+	out := fs.String("o", "-", "output path ('-' = stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	if !*chrome {
+		fmt.Fprintln(os.Stderr, "lrtrace: convert requires an output format flag (-chrome)")
+		return 2
+	}
+	events, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	w := io.Writer(os.Stdout)
+	var f *os.File
+	if *out != "-" {
+		f, err = os.Create(*out)
+		if err != nil {
+			return fail(err)
+		}
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := trace.WriteChrome(bw, events); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+func cmdDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return usage()
+	}
+	a, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	b, err := load(fs.Arg(1))
+	if err != nil {
+		return fail(err)
+	}
+	d := trace.DiffTraces(a, b)
+	fmt.Printf("events: %+d\n", d.EventsDelta)
+	for _, kc := range d.Kinds {
+		fmt.Printf("  %-16s %+d\n", kc.Kind, kc.N)
+	}
+	if len(d.Drops) > 0 {
+		fmt.Println("drops:")
+		for _, rc := range d.Drops {
+			fmt.Printf("  %-16s %+d\n", rc.Reason, rc.N)
+		}
+	}
+	fmt.Printf("last completion: %+.6fs\n", d.LastCompletionDelta.Seconds())
+	return 0
+}

@@ -9,6 +9,7 @@ import (
 	"lrseluge/internal/packet"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
+	"lrseluge/internal/trace"
 	"lrseluge/internal/trickle"
 )
 
@@ -26,6 +27,9 @@ type Node struct {
 	policy  TxPolicy
 	trk     *trickle.Trickle
 	col     *metrics.Collector
+	// tr is picked up from the network at construction; nil disables
+	// tracing (every call site is nil-safe).
+	tr *trace.Tracer
 
 	// servers maps neighbor -> advertised complete-unit count.
 	servers map[packet.NodeID]int
@@ -46,6 +50,12 @@ type Node struct {
 	txTimer  *sim.Timer
 
 	sigPending bool
+	// sigSpan brackets the in-flight signature verification; fetchSpan
+	// brackets the unit currently being assembled (fetchUnit). Both are
+	// inert when tracing is off.
+	sigSpan   trace.Span
+	fetchSpan trace.Span
+	fetchUnit int
 
 	// Denial-of-receipt defense state: data packets requested per
 	// (neighbor, unit) and neighbors being ignored.
@@ -101,6 +111,7 @@ func NewNode(id packet.NodeID, nw *radio.Network, cfg Config, handler ObjectHand
 		handler: handler,
 		policy:  policy,
 		col:     nw.Collector(),
+		tr:      nw.Tracer(),
 		servers: make(map[packet.NodeID]int),
 		served:  make(map[servedKey]int),
 		ignored: make(map[servedKey]bool),
@@ -179,11 +190,16 @@ func (n *Node) Crash() {
 	n.served = make(map[servedKey]int)
 	n.ignored = make(map[servedKey]bool)
 	n.hasAdvertiser = false
-	n.requesting = false
+	n.setRequesting(false)
 	n.suppressions = 0
 	n.retries = 0
-	n.txActive = false
+	n.setTxActive(false)
 	n.sigPending = false
+	// In-flight spans die with the RAM state: their begins stay
+	// unterminated in the trace (the analyzer drops unpaired spans), which
+	// is the honest record of work a crash destroyed.
+	n.sigSpan = trace.Span{}
+	n.fetchSpan = trace.Span{}
 	n.completed = false
 	n.crashUnit = cu
 	n.refetchArmed = lost > 0
@@ -328,6 +344,7 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 		// transmissions or postpone our requests.
 		if !n.handler.Authentic(d) {
 			n.col.RecordAuthDrop()
+			n.tr.Drop(n.id, from, d, trace.DropAuth)
 			return
 		}
 		// Another node is serving this unit: drop any queued duplicate
@@ -342,7 +359,9 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 		// Page-by-page rule: we cannot authenticate packets beyond the
 		// next unit (their hash images are not yet known), so they are
 		// dropped with no effect (paper §IV-E).
+		n.tr.Drop(n.id, from, d, trace.DropStale)
 	default: // unit == next
+		heldBefore := n.tr.Enabled() && n.heldAny(unit)
 		res := n.handler.Ingest(d)
 		if n.refetchArmed {
 			if unit == n.crashUnit && (res == Stored || res == UnitComplete) {
@@ -354,10 +373,16 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 				n.refetchArmed = false
 			}
 		}
+		if n.tr.Enabled() && !heldBefore && (res == Stored || res == UnitComplete) {
+			n.tr.UnitEvent(trace.KindUnitFirst, n.id, unit)
+			n.beginFetchSpan(unit)
+		}
 		switch res {
 		case Rejected:
 			n.col.RecordAuthDrop()
+			n.tr.Drop(n.id, from, d, trace.DropAuth)
 		case Duplicate:
+			n.tr.Drop(n.id, from, d, trace.DropDuplicate)
 			n.policy.OnDataOverheard(unit, int(d.Index))
 			n.postponePendingSNACK()
 			n.progress()
@@ -367,6 +392,15 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 			n.noteForged(from, res)
 			n.progress()
 		case UnitComplete:
+			if n.tr.Enabled() {
+				// The simulator's Ingest recovers, verifies and commits
+				// the unit atomically, so the three milestones share one
+				// timestamp; real motes would spread them out.
+				n.tr.UnitEvent(trace.KindUnitDecodable, n.id, unit)
+				n.tr.UnitEvent(trace.KindUnitVerified, n.id, unit)
+				n.tr.UnitEvent(trace.KindUnitFlashed, n.id, unit)
+			}
+			n.endFetchSpan(unit)
 			n.noteForged(from, res)
 			n.unitComplete()
 		}
@@ -383,7 +417,7 @@ func (n *Node) postponePendingSNACK() {
 
 func (n *Node) handleSig(from packet.NodeID, s *packet.Sig) {
 	if s.Version > n.handler.Version() {
-		n.handleNewerSig(s)
+		n.handleNewerSig(from, s)
 		return
 	}
 	if s.Version != n.handler.Version() {
@@ -395,23 +429,29 @@ func (n *Node) handleSig(from packet.NodeID, s *packet.Sig) {
 	if !n.handler.PreVerifySig(s) {
 		// Weak authenticator (puzzle) rejected the packet: one cheap hash,
 		// no signature verification charged.
+		n.tr.Drop(n.id, from, s, trace.DropPuzzle)
 		return
 	}
 	// Charge the expensive verification as virtual time (1.12 s ECDSA on a
 	// Tmote Sky, paper §III-A). The epoch guard voids the verification if
 	// the node loses power while it is in progress.
 	n.sigPending = true
+	n.sigSpan = n.tr.Begin(n.id, "sig-verify", trace.NoUnit)
 	epoch := n.epoch
 	n.eng.Schedule(n.cfg.SigVerifyDelay, func() {
 		if n.down || n.epoch != epoch {
 			return
 		}
 		n.sigPending = false
+		n.sigSpan.End()
+		n.sigSpan = trace.Span{}
 		res := n.handler.IngestSig(s)
 		switch res {
 		case Rejected:
 			n.col.RecordAuthDrop()
+			n.tr.SigResult(n.id, from, false)
 		case UnitComplete:
+			n.tr.SigResult(n.id, from, true)
 			n.noteForged(from, res)
 			n.unitComplete()
 		}
@@ -424,6 +464,63 @@ func (n *Node) noteForged(from packet.NodeID, res IngestResult) {
 	}
 }
 
+// setRequesting flips the RX state machine, tracing the MAINTAIN<->RX
+// transition when the value actually changes.
+func (n *Node) setRequesting(v bool) {
+	if n.requesting == v {
+		return
+	}
+	n.requesting = v
+	if v {
+		n.tr.State(n.id, "rx", trace.StateMaintain, trace.StateRx)
+	} else {
+		n.tr.State(n.id, "rx", trace.StateRx, trace.StateMaintain)
+	}
+}
+
+// setTxActive flips the TX state machine, tracing the MAINTAIN<->TX
+// transition when the value actually changes.
+func (n *Node) setTxActive(v bool) {
+	if n.txActive == v {
+		return
+	}
+	n.txActive = v
+	if v {
+		n.tr.State(n.id, "tx", trace.StateMaintain, trace.StateTx)
+	} else {
+		n.tr.State(n.id, "tx", trace.StateTx, trace.StateMaintain)
+	}
+}
+
+// heldAny reports whether any packet of the unit is already stored; used to
+// detect the unit's first packet when tracing (gated on Enabled, so the
+// scan costs nothing in untraced runs).
+func (n *Node) heldAny(unit int) bool {
+	for idx := 0; idx < n.handler.PacketsInUnit(unit); idx++ {
+		if n.handler.HasPacket(unit, idx) {
+			return true
+		}
+	}
+	return false
+}
+
+// beginFetchSpan opens the page-fetch span for the unit being assembled.
+func (n *Node) beginFetchSpan(unit int) {
+	if !n.tr.Enabled() || (n.fetchSpan.Active() && n.fetchUnit == unit) {
+		return
+	}
+	n.fetchSpan = n.tr.Begin(n.id, "page-fetch", unit)
+	n.fetchUnit = unit
+}
+
+// endFetchSpan closes the page-fetch span if it covers this unit.
+func (n *Node) endFetchSpan(unit int) {
+	if n.fetchSpan.Active() && n.fetchUnit == unit {
+		n.fetchSpan.End()
+		n.fetchSpan = trace.Span{}
+	}
+}
+
 // maybeStartRequest enters RX if a neighbor has units we lack.
 func (n *Node) maybeStartRequest() {
 	if n.completed || n.requesting {
@@ -432,7 +529,7 @@ func (n *Node) maybeStartRequest() {
 	if !n.haveServer() {
 		return
 	}
-	n.requesting = true
+	n.setRequesting(true)
 	n.suppressions = 0
 	n.retries = 0
 	n.scheduleSNACK(n.backoff())
@@ -477,7 +574,7 @@ func (n *Node) sendSNACK() {
 		}
 	}
 	if len(candidates) == 0 {
-		n.requesting = false
+		n.setRequesting(false)
 		return
 	}
 	// Prefer the advertiser we heard most recently (Deluge requests "from
@@ -527,7 +624,7 @@ func (n *Node) armRetry() {
 		n.retries++
 		if n.retries > maxRetriesBeforeMaintain {
 			// Give up; wait for fresh advertisements (MAINTAIN).
-			n.requesting = false
+			n.setRequesting(false)
 			n.servers = make(map[packet.NodeID]int)
 			n.trk.Reset()
 			return
@@ -550,14 +647,14 @@ func (n *Node) unitComplete() {
 	n.trk.Reset() // our state changed; advertise promptly
 	n.checkComplete()
 	if n.completed {
-		n.requesting = false
+		n.setRequesting(false)
 		return
 	}
 	if n.haveServer() {
-		n.requesting = true
+		n.setRequesting(true)
 		n.scheduleSNACK(n.backoff())
 	} else {
-		n.requesting = false
+		n.setRequesting(false)
 	}
 }
 
@@ -568,7 +665,7 @@ func (n *Node) checkComplete() {
 	total := n.handler.TotalUnits()
 	if total > 0 && n.handler.CompleteUnits() >= total {
 		n.completed = true
-		n.requesting = false
+		n.setRequesting(false)
 		n.retryTimer.Stop()
 		n.snackTimer.Stop()
 		if n.reported {
@@ -577,6 +674,7 @@ func (n *Node) checkComplete() {
 		n.reported = true
 		now := n.eng.Now()
 		n.col.RecordCompletion(n.id, now)
+		n.tr.Complete(n.id)
 		if n.onComplete != nil {
 			n.onComplete(n.id, now)
 		}
@@ -590,7 +688,7 @@ func (n *Node) startTx() {
 	if n.txActive {
 		return
 	}
-	n.txActive = true
+	n.setTxActive(true)
 	if n.cfg.TxAggregationDelay > 0 {
 		n.txTimer = n.eng.Schedule(n.cfg.TxAggregationDelay, n.txStep)
 		return
@@ -615,12 +713,12 @@ func (n *Node) scheduleTxStep() {
 
 func (n *Node) txStep() {
 	if !n.policy.Pending() {
-		n.txActive = false
+		n.setTxActive(false)
 		return
 	}
 	unit, idx, ok := n.policy.Next()
 	if !ok {
-		n.txActive = false
+		n.setTxActive(false)
 		return
 	}
 	if sig := n.handler.SigPacket(n.id); sig != nil && unit == 0 && n.handler.PacketsInUnit(0) == 1 {

@@ -3,6 +3,7 @@ package dissem
 import (
 	"lrseluge/internal/packet"
 	"lrseluge/internal/sim"
+	"lrseluge/internal/trace"
 )
 
 // Upgrader constructs a fresh handler/policy pair for a newer code version.
@@ -28,14 +29,16 @@ func (n *Node) Upgrade(handler ObjectHandler, policy TxPolicy) {
 	n.policy = policy
 	n.servers = make(map[packet.NodeID]int)
 	n.hasAdvertiser = false
-	n.requesting = false
+	n.setRequesting(false)
 	n.suppressions = 0
 	n.retries = 0
 	n.snackTimer.Stop()
 	n.retryTimer.Stop()
 	n.txTimer.Stop()
-	n.txActive = false
+	n.setTxActive(false)
 	n.sigPending = false
+	n.sigSpan = trace.Span{}
+	n.fetchSpan = trace.Span{}
 	n.served = make(map[servedKey]int)
 	n.ignored = make(map[servedKey]bool)
 	n.completed = false
@@ -66,8 +69,8 @@ func (n *Node) announceSig() {
 
 // handleNewerSig processes a signature packet for a version above ours:
 // verify it with a candidate handler, and only swap state once it checks
-// out. Invoked from handleSig.
-func (n *Node) handleNewerSig(s *packet.Sig) {
+// out. Invoked from handleSig; from is the forwarding neighbor.
+func (n *Node) handleNewerSig(from packet.NodeID, s *packet.Sig) {
 	if n.upgrader == nil || n.sigPending {
 		return
 	}
@@ -79,16 +82,22 @@ func (n *Node) handleNewerSig(s *packet.Sig) {
 		return
 	}
 	if !cand.PreVerifySig(s) {
+		n.tr.Drop(n.id, from, s, trace.DropPuzzle)
 		return
 	}
 	n.sigPending = true
+	n.sigSpan = n.tr.Begin(n.id, "sig-verify", trace.NoUnit)
 	n.eng.Schedule(n.cfg.SigVerifyDelay, func() {
 		n.sigPending = false
+		n.sigSpan.End()
+		n.sigSpan = trace.Span{}
 		res := cand.IngestSig(s)
 		switch res {
 		case Rejected:
 			n.col.RecordAuthDrop()
+			n.tr.SigResult(n.id, from, false)
 		case UnitComplete:
+			n.tr.SigResult(n.id, from, true)
 			// The new version is authentic: discard the old image state
 			// and start acquiring the new one.
 			n.Upgrade(cand, candPolicy)

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"lrseluge/internal/harness"
+	"lrseluge/internal/trace"
 )
 
 // Metric names emitted for every run record flowing through the harness.
@@ -162,6 +163,34 @@ func GridJobs(sweep string, entries []GridEntry) []harness.Job {
 // GridRunFunc is the harness RunFunc that executes one grid job as a full
 // simulation.
 var GridRunFunc harness.RunFunc = gridRun
+
+// TracedRunFunc wraps gridRun so every job's simulation streams its protocol
+// events to a per-job trace sink. sinkFor is called once per job and returns
+// the sink plus a close function invoked after the run (nil close is
+// allowed); a close error fails the job. Because every job owns a distinct
+// sink, traced sweeps stay worker-count invariant: each trace file's bytes
+// depend only on the job's seed, never on pool scheduling.
+func TracedRunFunc(sinkFor func(harness.Job) (trace.Sink, func() error, error)) harness.RunFunc {
+	return func(j harness.Job) ([]harness.Metric, error) {
+		p := j.Payload.(gridPayload)
+		sink, closeFn, err := sinkFor(j)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace sink for %s: %w", j.Name, err)
+		}
+		sc := p.scenario
+		sc.Trace = sink
+		r, runErr := Run(sc)
+		if closeFn != nil {
+			if err := closeFn(); err != nil && runErr == nil {
+				runErr = fmt.Errorf("experiment: trace close for %s: %w", j.Name, err)
+			}
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		return runMetrics(r), nil
+	}
+}
 
 // RunGrid executes every entry's runs through the harness worker pool and
 // aggregates one AvgResult per entry, in entry order. Run records stream to

@@ -23,6 +23,7 @@ import (
 	"lrseluge/internal/seluge"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
+	"lrseluge/internal/trace"
 )
 
 // Protocol selects the dissemination scheme under test.
@@ -140,6 +141,12 @@ type Scenario struct {
 	// run's seed and the protocol-node count (adversary slots excluded).
 	// Takes precedence over Faults.
 	FaultFactory func(seed int64, numNodes int) (*fault.Plan, error)
+
+	// Trace, when set, receives the run's protocol event stream (see
+	// internal/trace). The sink is flushed when Run returns; a flush error
+	// fails the run. Nil (the default) disables tracing entirely — no event
+	// is constructed and the simulation byte-stream is unchanged.
+	Trace trace.Sink
 
 	// Seed makes the run reproducible.
 	Seed int64
@@ -274,6 +281,15 @@ func build(s Scenario) (*env, error) {
 	nw, err := radio.New(eng, graph, loss, s.Radio, col, s.Seed^0x5eed)
 	if err != nil {
 		return nil, err
+	}
+	if s.Trace != nil {
+		// Install before node construction: dissem nodes capture the
+		// network's tracer when they are built.
+		tr, err := trace.New(eng, s.Trace)
+		if err != nil {
+			return nil, err
+		}
+		nw.SetTracer(tr)
 	}
 
 	e := &env{
@@ -434,6 +450,7 @@ func build(s Scenario) (*env, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.faultEng.SetTracer(nw.Tracer())
 		for _, n := range e.nodes {
 			e.faultEng.Register(int(n.ID()), n)
 		}
@@ -538,9 +555,7 @@ func (e *env) run() Result {
 		RecoverySec:      e.col.MeanRecoveryLatencySec(),
 		ImagesOK:         true,
 	}
-	if e.faultOv != nil {
-		res.FaultDrops = e.faultOv.FaultDrops()
-	}
+	res.FaultDrops = e.col.FaultDrops()
 	for _, h := range e.handlers {
 		got, err := h.ReassembledImage(len(e.imageData))
 		if err != nil || !bytes.Equal(got, e.imageData) {
@@ -551,11 +566,20 @@ func (e *env) run() Result {
 	return res
 }
 
-// Run executes a scenario end to end.
+// Run executes a scenario end to end. When the scenario carries a trace
+// sink, the sink is flushed before Run returns and a flush error fails the
+// run (the metrics of a run whose trace was silently truncated would be
+// unverifiable against the trace).
 func Run(s Scenario) (Result, error) {
 	e, err := build(s)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.run(), nil
+	res := e.run()
+	if s.Trace != nil {
+		if err := s.Trace.Flush(); err != nil {
+			return Result{}, fmt.Errorf("experiment: trace flush: %w", err)
+		}
+	}
+	return res, nil
 }

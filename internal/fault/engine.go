@@ -5,6 +5,7 @@ import (
 
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
+	"lrseluge/internal/trace"
 )
 
 // Restartable is implemented by protocol nodes that survive power cycles
@@ -27,6 +28,9 @@ type Engine struct {
 	nodes map[int]Restartable
 
 	onRamp func(intensity float64)
+
+	// tr records fault events; nil disables tracing.
+	tr *trace.Tracer
 }
 
 // NewEngine binds a fault engine to the simulation and its radio overlay.
@@ -50,6 +54,9 @@ func (f *Engine) Register(id int, n Restartable) {
 // an adversary.Injector's SetIntensity).
 func (f *Engine) OnAdversaryRamp(fn func(intensity float64)) { f.onRamp = fn }
 
+// SetTracer installs the event tracer; nil disables tracing.
+func (f *Engine) SetTracer(tr *trace.Tracer) { f.tr = tr }
+
 // Install validates the plan against the overlay's topology and schedules
 // every event. The plan is read-only: installing the same plan into several
 // runs is safe.
@@ -67,9 +74,11 @@ func (f *Engine) Install(p *Plan) error {
 	return nil
 }
 
-// apply executes one event. Overlay state flips before the node callback so
-// a crashing node is already radio-dark when its protocol state is wiped.
+// apply executes one event. The trace record goes first, then the overlay
+// state flips before the node callback so a crashing node is already
+// radio-dark when its protocol state is wiped.
 func (f *Engine) apply(e Event) {
+	f.traceEvent(e)
 	switch e.Kind {
 	case NodeCrash:
 		f.ov.SetNodeDown(e.Node, true)
@@ -96,4 +105,24 @@ func (f *Engine) apply(e Event) {
 			f.onRamp(e.Intensity)
 		}
 	}
+}
+
+// traceEvent maps a fault-plan event onto a KindFault trace record: the
+// subject node goes in Node, the link target in Peer, the ramp intensity in
+// Value. Partition/heal events have no single node subject.
+func (f *Engine) traceEvent(e Event) {
+	if !f.tr.Enabled() {
+		return
+	}
+	node, peer := trace.NoNode, trace.NoNode
+	value := 0.0
+	switch e.Kind {
+	case NodeCrash, NodeReboot:
+		node = e.Node
+	case LinkDown, LinkUp:
+		node, peer = e.From, e.To
+	case AdversaryRamp:
+		value = e.Intensity
+	}
+	f.tr.Fault(string(e.Kind), node, peer, value)
 }

@@ -3,7 +3,7 @@
 // reproducibility claims rest on. It is built only on the standard library
 // (go/ast, go/parser, go/token, go/types) per the repo's stdlib-only rule.
 //
-// Seven analyzer passes run over every non-test file of the module:
+// Eight analyzer passes run over every non-test file of the module:
 //
 //   - no-wallclock: internal/ packages must never consult the wall clock
 //     (time.Now, time.Sleep, time.After, time.Tick, timers). Protocol code
@@ -42,6 +42,12 @@
 //     in package-level variables, leak through exported fields or results,
 //     feed two streams from one source, or be constructed from constant
 //     seeds. See rng.go.
+//
+//   - trace-sim-time: in the trace packages, event structs and recording
+//     signatures must carry virtual sim.Time timestamps, never wall-clock
+//     time.Time — a pre-read wall timestamp smuggled in from outside the
+//     no-wallclock scope would still tie trace bytes to the host. See
+//     tracetime.go.
 //
 // A finding may be suppressed with a directive on the same line, on the line
 // immediately above, or on the line immediately above the statement the
@@ -84,6 +90,7 @@ const (
 	RuleTaint       = "verify-before-use"
 	RuleConcurrency = "harness-concurrency"
 	RuleRNG         = "rng-stream-discipline"
+	RuleTraceTime   = "trace-sim-time"
 	RuleDirective   = "directive"
 )
 
@@ -96,6 +103,7 @@ var AllRules = []string{
 	RuleTaint,
 	RuleConcurrency,
 	RuleRNG,
+	RuleTraceTime,
 	RuleDirective,
 }
 
@@ -119,6 +127,10 @@ type Config struct {
 	// ConcurrencyPackages lists the packages with real goroutine concurrency;
 	// harness-concurrency applies there.
 	ConcurrencyPackages []string
+	// TracePackages lists the packages defining trace records and recording
+	// APIs; trace-sim-time applies there: event structs and recording
+	// signatures must carry sim.Time, never wall-clock time.Time.
+	TracePackages []string
 	// Rules, when non-empty, restricts the run to the named rules (the
 	// directive pass always runs, so malformed directives never go dark).
 	Rules []string
@@ -155,6 +167,7 @@ func DefaultConfig(modulePath string) Config {
 			"internal/radio",
 			"internal/trickle",
 			"internal/harness",
+			"internal/trace",
 		},
 		ErrorCriticalPackages: []string{
 			"internal/crypt",
@@ -171,6 +184,9 @@ func DefaultConfig(modulePath string) Config {
 		ConcurrencyPackages: []string{
 			"internal/harness",
 			"internal/experiment",
+		},
+		TracePackages: []string{
+			"internal/trace",
 		},
 	}
 }
@@ -261,6 +277,9 @@ func runPackage(pkg *Package, cfg Config) []Diagnostic {
 	}
 	if cfg.ruleEnabled(RuleRNG) {
 		raw = append(raw, checkRNG(pkg)...)
+	}
+	if cfg.ruleEnabled(RuleTraceTime) && cfg.inScope(pkg.ImportPath, cfg.TracePackages) {
+		raw = append(raw, checkTraceTime(pkg)...)
 	}
 	diags := bad
 	for _, d := range raw {

@@ -30,6 +30,8 @@ var fixtureCases = []struct {
 	{"rng_bad", "fix/internal/rng_bad"},
 	{"rng_clean", "fix/internal/rng_clean"},
 	{"directive_span_clean", "fix/internal/directive_span_clean"},
+	{"tracetime_bad", "fix/internal/trace/tracetime_bad"},
+	{"tracetime_clean", "fix/internal/trace/tracetime_clean"},
 }
 
 // TestFixtures runs the full pass suite over each fixture package and

@@ -1,0 +1,28 @@
+// Package tracetime_bad seeds every trace-sim-time violation class for the
+// lrlint fixture tests: wall-clock time.Time smuggled into trace records and
+// recording signatures.
+package tracetime_bad
+
+import "time"
+
+// Record is a trace event struct with a wall-clock timestamp field.
+type Record struct {
+	At   time.Time // flagged: struct field
+	Kind int
+}
+
+// Batch aggregates records keyed by a wall timestamp.
+type Batch struct {
+	ByTime map[time.Time][]Record // flagged: struct field (map key)
+}
+
+// Emit takes a pre-read wall timestamp from the caller.
+func Emit(at time.Time, kind int) {
+	_ = at
+	_ = kind
+}
+
+// Stamp returns a wall timestamp pointer for later recording.
+func Stamp() *time.Time {
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package tracetime_clean holds the legal counterparts of the
+// tracetime_bad fixture: virtual int64-nanosecond timestamps and pure
+// durations, which carry no clock reading.
+package tracetime_clean
+
+import "time"
+
+// SimTime mirrors the simulator's virtual clock type.
+type SimTime int64
+
+// Record is a trace event stamped on the virtual clock.
+type Record struct {
+	At   SimTime
+	Kind int
+}
+
+// Emit records one event at a virtual timestamp.
+func Emit(at SimTime, kind int) {
+	_ = at
+	_ = kind
+}
+
+// Budget is a pure duration — legal, it carries no clock reading.
+func Budget(d time.Duration) time.Duration {
+	return 2 * d
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkTraceTime implements the trace-sim-time pass: in the trace packages,
+// event structures and recording APIs must stamp with virtual sim.Time, never
+// wall-clock time.Time. A time.Time smuggled into an event struct field or a
+// recording function's signature would tie trace bytes to the host machine
+// even if no pass of the no-wallclock rule fires (the value could arrive
+// pre-read from a caller outside the scoped tree). Pure durations
+// (time.Duration) stay legal — they carry no clock reading.
+func checkTraceTime(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(f *ast.Field, where string) {
+		t := pkg.Info.Types[f.Type].Type
+		if t == nil || !containsWallTime(t, 0) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(f.Type.Pos()),
+			Rule: RuleTraceTime,
+			Msg:  "time.Time in a trace " + where + "; trace records must carry virtual sim.Time",
+		})
+	}
+	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.StructType:
+			for _, f := range v.Fields.List {
+				flag(f, "struct field")
+			}
+		case *ast.FuncType:
+			if v.Params != nil {
+				for _, f := range v.Params.List {
+					flag(f, "parameter")
+				}
+			}
+			if v.Results != nil {
+				for _, f := range v.Results.List {
+					flag(f, "result")
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// containsWallTime reports whether t is, or structurally contains, the
+// wall-clock type time.Time (through pointers, slices, arrays, maps and
+// channels). Named wrapper types are not unwrapped past a small depth — a
+// type three layers deep is no longer "a trace field holding a timestamp".
+func containsWallTime(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	switch v := t.(type) {
+	case *types.Named:
+		if obj := v.Obj(); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "time" && obj.Name() == "Time" {
+			return true
+		}
+		return containsWallTime(v.Underlying(), depth+1)
+	case *types.Pointer:
+		return containsWallTime(v.Elem(), depth+1)
+	case *types.Slice:
+		return containsWallTime(v.Elem(), depth+1)
+	case *types.Array:
+		return containsWallTime(v.Elem(), depth+1)
+	case *types.Map:
+		return containsWallTime(v.Key(), depth+1) || containsWallTime(v.Elem(), depth+1)
+	case *types.Chan:
+		return containsWallTime(v.Elem(), depth+1)
+	}
+	return false
+}

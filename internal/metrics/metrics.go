@@ -6,9 +6,9 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"lrseluge/internal/detmap"
 	"lrseluge/internal/packet"
 	"lrseluge/internal/sim"
 )
@@ -41,6 +41,7 @@ type Collector struct {
 	sigVerifications int64 // expensive signature verifications performed
 	puzzleRejects    int64 // signature packets rejected by the weak authenticator
 	channelLosses    int64 // packets dropped by the lossy channel
+	faultDrops       int64 // deliveries blocked by the fault overlay
 }
 
 // New returns an empty collector.
@@ -94,8 +95,14 @@ func (c *Collector) DataTxFromUnit(u int) int64 {
 // RecordRx accounts a successful delivery of p to a node.
 func (c *Collector) RecordRx(p packet.Packet) { c.rxCount[p.Kind()]++ }
 
-// RecordChannelLoss accounts a packet dropped by the channel.
+// RecordChannelLoss accounts a packet dropped by the channel. Channel and
+// fault drops are disjoint: every lost delivery is recorded under exactly
+// one of the two.
 func (c *Collector) RecordChannelLoss() { c.channelLosses++ }
+
+// RecordFaultDrop accounts a delivery blocked by the fault overlay (down
+// endpoint, link outage window, or partition boundary).
+func (c *Collector) RecordFaultDrop() { c.faultDrops++ }
 
 // RecordAuthDrop accounts a packet rejected by immediate authentication.
 func (c *Collector) RecordAuthDrop() { c.authDrops++ }
@@ -245,20 +252,32 @@ func (c *Collector) SigVerifications() int64 { return c.sigVerifications }
 // PuzzleRejects returns the count of weak-authenticator rejections.
 func (c *Collector) PuzzleRejects() int64 { return c.puzzleRejects }
 
-// ChannelLosses returns the count of channel-dropped packets.
+// ChannelLosses returns the count of channel-dropped packets (fault-blocked
+// deliveries are counted separately; see FaultDrops).
 func (c *Collector) ChannelLosses() int64 { return c.channelLosses }
 
-// String renders a human-readable summary.
+// FaultDrops returns the count of deliveries blocked by the fault overlay.
+func (c *Collector) FaultDrops() int64 { return c.faultDrops }
+
+// String renders a human-readable summary. All map-derived sections iterate
+// in detmap.SortedKeys order, so the rendering is a deterministic function
+// of the counters alone.
 func (c *Collector) String() string {
 	var sb strings.Builder
-	types := make([]packet.Type, 0, len(c.txCount))
-	for t := range c.txCount {
-		types = append(types, t)
-	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
-	for _, t := range types {
+	for _, t := range detmap.SortedKeys(c.txCount) {
 		fmt.Fprintf(&sb, "%s: %d pkts / %d B; ", t, c.txCount[t], c.txBytes[t])
 	}
 	fmt.Fprintf(&sb, "total %d B; latency %v; completed %d", c.TotalBytes(), c.Latency(), len(c.completion))
+	if c.crashes > 0 || c.reboots > 0 || c.faultDrops > 0 {
+		fmt.Fprintf(&sb, "; faults[crashes %d reboots %d lost_pkts %d refetched %d fault_drops %d downtime %v",
+			c.crashes, c.reboots, c.crashLostPkts, c.refetched, c.faultDrops, c.downtime)
+		if len(c.lastCrash) > 0 {
+			sb.WriteString(" still_down")
+			for _, node := range detmap.SortedKeys(c.lastCrash) {
+				fmt.Fprintf(&sb, " %d", node)
+			}
+		}
+		sb.WriteString("]")
+	}
 	return sb.String()
 }

@@ -87,4 +87,48 @@ func TestStringSummary(t *testing.T) {
 	if !strings.Contains(s, "adv") || !strings.Contains(s, "total") {
 		t.Fatalf("summary missing fields: %q", s)
 	}
+	// No fault activity: the fault block stays out of the summary.
+	if strings.Contains(s, "faults[") {
+		t.Fatalf("fault block rendered without faults: %q", s)
+	}
+}
+
+// TestStringGolden pins the byte-exact rendering, including the ordering of
+// the per-type section and the fault-counter block: both iterate maps, so
+// this golden is the regression net for report determinism.
+func TestStringGolden(t *testing.T) {
+	c := New()
+	// Insert packet types in an order that differs from their sort order.
+	c.RecordTx(2, &packet.Data{Src: 2, Unit: 1, Index: 0, Payload: make([]byte, 4)})
+	c.RecordTx(1, &packet.Adv{Src: 1})
+	c.RecordTx(0, &packet.Sig{Src: 0, Signature: make([]byte, 64)})
+	c.RecordCompletion(1, 3*sim.Second)
+
+	// Fault activity, with two nodes still down at the end inserted in
+	// descending id order to catch map-order leaks.
+	c.RecordCrash(7, 1*sim.Second, 3)
+	c.RecordCrash(2, 1*sim.Second, 0)
+	c.RecordCrash(1, 1*sim.Second, 1)
+	c.RecordReboot(1, 2*sim.Second)
+	c.RecordRefetch()
+	c.RecordFaultDrop()
+	c.RecordFaultDrop()
+
+	want := "adv: 1 pkts / 19 B; data: 1 pkts / 26 B; sig: 1 pkts / 115 B; " +
+		"total 160 B; latency 3s; completed 1; " +
+		"faults[crashes 3 reboots 1 lost_pkts 4 refetched 1 fault_drops 2 downtime 1s still_down 2 7]"
+	for i := 0; i < 10; i++ { // map iteration varies per run; render repeatedly
+		if got := c.String(); got != want {
+			t.Fatalf("iteration %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}
+
+func TestFaultDropCounter(t *testing.T) {
+	c := New()
+	c.RecordFaultDrop()
+	c.RecordChannelLoss()
+	if c.FaultDrops() != 1 || c.ChannelLosses() != 1 {
+		t.Fatalf("fault_drops=%d channel_losses=%d", c.FaultDrops(), c.ChannelLosses())
+	}
 }

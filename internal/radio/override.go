@@ -112,10 +112,15 @@ func (o *FaultOverlay) Blocked(from, to int) bool {
 	return false
 }
 
-// FaultDrops returns how many delivery attempts the overlay blocked. These
-// drops are also counted in the collector's channel-loss total (the overlay
-// sits inside the loss-model call), so FaultDrops <= ChannelLosses.
+// FaultDrops returns how many delivery attempts the overlay blocked. The
+// network attributes each drop to exactly one cause: fault-blocked
+// deliveries are counted here (and in the collector's fault-drop counter),
+// never in the channel-loss total.
 func (o *FaultOverlay) FaultDrops() int64 { return o.faultDrops }
+
+// countDrop accounts one blocked delivery attributed by the network's
+// pre-check, which bypasses Drop to keep the attribution single-sourced.
+func (o *FaultOverlay) countDrop() { o.faultDrops++ }
 
 // Drop implements LossModel: block if a fault forbids the delivery,
 // otherwise delegate to the wrapped channel model.

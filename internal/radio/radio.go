@@ -17,6 +17,7 @@ import (
 	"lrseluge/internal/packet"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
+	"lrseluge/internal/trace"
 )
 
 // Receiver is implemented by protocol nodes attached to the network.
@@ -71,6 +72,10 @@ type Network struct {
 	fault *FaultOverlay
 
 	txObs TxObserver
+
+	// tr records packet lifecycle events; nil (the default) disables
+	// tracing at one branch per event site.
+	tr *trace.Tracer
 }
 
 // TxObserver sees every packet at the moment its transmission completes,
@@ -119,6 +124,14 @@ func (nw *Network) Attach(id packet.NodeID, r Receiver) error {
 // Passing nil removes the observer.
 func (nw *Network) SetTxObserver(fn TxObserver) { nw.txObs = fn }
 
+// SetTracer installs (or, with nil, removes) the event tracer. Install it
+// before traffic flows so traces cover the whole run.
+func (nw *Network) SetTracer(tr *trace.Tracer) { nw.tr = tr }
+
+// Tracer returns the installed tracer; nil means tracing is off. Protocol
+// nodes pick it up here so one installation covers the whole stack.
+func (nw *Network) Tracer() *trace.Tracer { return nw.tr }
+
 // Engine returns the simulation engine driving this network.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
@@ -157,6 +170,7 @@ func (nw *Network) Broadcast(from packet.NodeID, p packet.Packet) {
 			return // the sender lost power mid-transmission
 		}
 		nw.col.RecordTx(from, p)
+		nw.tr.Tx(from, p)
 		if nw.txObs != nil {
 			nw.txObs(nw.eng.Now(), from, p)
 		}
@@ -183,13 +197,26 @@ func (nw *Network) deliver(from packet.NodeID, p packet.Packet) {
 		if rcv == nil {
 			continue
 		}
+		// Fault-blocked deliveries are attributed before the channel model
+		// runs, so each drop has exactly one cause in metrics and trace.
+		// Blocked deliveries consume no channel randomness either way: the
+		// overlay's Drop short-circuits before its inner model, so this
+		// pre-check leaves the RNG stream byte-identical.
+		if nw.fault != nil && nw.fault.Blocked(int(from), to) {
+			nw.fault.countDrop()
+			nw.col.RecordFaultDrop()
+			nw.tr.Drop(packet.NodeID(to), from, p, trace.DropFault)
+			continue
+		}
 		if nw.loss.Drop(int(from), to, link.Quality, now, nw.rng) {
 			nw.col.RecordChannelLoss()
+			nw.tr.Drop(packet.NodeID(to), from, p, trace.DropChannel)
 			continue
 		}
 		target := rcv
 		nw.eng.Schedule(nw.cfg.PropDelay, func() {
 			nw.col.RecordRx(p)
+			nw.tr.Rx(packet.NodeID(to), from, p)
 			target.HandlePacket(from, p)
 		})
 	}

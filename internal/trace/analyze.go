@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+
+	"lrseluge/internal/detmap"
+	"lrseluge/internal/sim"
+)
+
+// This file holds the pure analysis layer behind cmd/lrtrace: summaries,
+// completion extraction, span pairing and trace diffs. Everything operates
+// on decoded []Event slices and is deterministic — map iteration goes
+// through detmap, output encodings are hand-rolled with fixed field order.
+
+// KindCount is one row of a per-kind histogram.
+type KindCount struct {
+	Kind Kind
+	N    int64
+}
+
+// ReasonCount is one row of a drop-reason histogram.
+type ReasonCount struct {
+	Reason DropReason
+	N      int64
+}
+
+// Summary aggregates one trace: totals, per-kind counts, the drop-reason
+// histogram, and coarse run facts.
+type Summary struct {
+	SchemaV     int           // schema of the trace (0 when empty)
+	Events      int64         // total event count
+	Kinds       []KindCount   // nonzero kinds in catalog order
+	Drops       []ReasonCount // nonzero drop reasons in catalog order
+	Nodes       []int         // distinct node ids, ascending
+	FirstAt     sim.Time      // timestamp of the first event
+	LastAt      sim.Time      // timestamp of the last event
+	Completions int64         // KindComplete events
+	Faults      int64         // KindFault events
+}
+
+// Summarize reduces a trace to its Summary.
+func Summarize(events []Event) Summary {
+	var s Summary
+	var kinds [kindMax]int64
+	var drops [dropReasonMax]int64
+	nodes := make(map[int]bool)
+	for i, e := range events {
+		if i == 0 {
+			s.SchemaV = e.SchemaV
+			s.FirstAt = e.At
+		}
+		s.LastAt = e.At
+		s.Events++
+		if e.Kind > 0 && e.Kind < kindMax {
+			kinds[e.Kind]++
+		}
+		if e.Kind == KindDrop && e.Reason > 0 && e.Reason < dropReasonMax {
+			drops[e.Reason]++
+		}
+		if e.Node != NoNode {
+			nodes[e.Node] = true
+		}
+		if e.Peer != NoNode {
+			nodes[e.Peer] = true
+		}
+	}
+	for _, k := range Kinds() {
+		if kinds[k] > 0 {
+			s.Kinds = append(s.Kinds, KindCount{Kind: k, N: kinds[k]})
+		}
+	}
+	for _, r := range DropReasons() {
+		if drops[r] > 0 {
+			s.Drops = append(s.Drops, ReasonCount{Reason: r, N: drops[r]})
+		}
+	}
+	s.Nodes = detmap.SortedKeys(nodes)
+	s.Completions = kinds[KindComplete]
+	s.Faults = kinds[KindFault]
+	return s
+}
+
+// AppendJSON appends the deterministic JSON rendering of the summary, the
+// byte-exact artifact the check.sh trace gate pins against a golden.
+func (s Summary) AppendJSON(buf []byte) []byte {
+	buf = append(buf, `{"schema":`...)
+	buf = strconv.AppendInt(buf, int64(s.SchemaV), 10)
+	buf = append(buf, `,"events":`...)
+	buf = strconv.AppendInt(buf, s.Events, 10)
+	buf = append(buf, `,"nodes":`...)
+	buf = strconv.AppendInt(buf, int64(len(s.Nodes)), 10)
+	buf = append(buf, `,"first_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.FirstAt), 10)
+	buf = append(buf, `,"last_ns":`...)
+	buf = strconv.AppendInt(buf, int64(s.LastAt), 10)
+	buf = append(buf, `,"completions":`...)
+	buf = strconv.AppendInt(buf, s.Completions, 10)
+	buf = append(buf, `,"faults":`...)
+	buf = strconv.AppendInt(buf, s.Faults, 10)
+	buf = append(buf, `,"kinds":{`...)
+	for i, kc := range s.Kinds {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, kc.Kind.String()...)
+		buf = append(buf, `":`...)
+		buf = strconv.AppendInt(buf, kc.N, 10)
+	}
+	buf = append(buf, `},"drops":{`...)
+	for i, rc := range s.Drops {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, rc.Reason.String()...)
+		buf = append(buf, `":`...)
+		buf = strconv.AppendInt(buf, rc.N, 10)
+	}
+	return append(buf, '}', '}')
+}
+
+// Completion is one node's first full-image completion.
+type Completion struct {
+	Node int
+	At   sim.Time
+}
+
+// Completions extracts per-node completion times, ascending by time then
+// node — already in CDF order.
+func Completions(events []Event) []Completion {
+	seen := make(map[int]bool)
+	var out []Completion
+	for _, e := range events {
+		if e.Kind != KindComplete || e.Node == NoNode || seen[e.Node] {
+			continue
+		}
+		seen[e.Node] = true
+		out = append(out, Completion{Node: e.Node, At: e.At})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Fetch is one completed span: a page fetch or a signature verification,
+// located by node (and unit, for page fetches).
+type Fetch struct {
+	Node  int
+	Unit  int // NoUnit for unit-less spans
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span length.
+func (f Fetch) Duration() sim.Time { return f.End - f.Start }
+
+// Spans pairs span-begin/span-end events with the given name (every name
+// when name is empty), in begin order. Unterminated spans are dropped — a
+// run can end mid-fetch.
+func Spans(events []Event, name string) []Fetch {
+	open := make(map[uint64]Fetch)
+	var out []Fetch
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanBegin:
+			if name != "" && e.Name != name {
+				continue
+			}
+			open[e.Span] = Fetch{Node: e.Node, Unit: e.Unit, Name: e.Name, Start: e.At}
+		case KindSpanEnd:
+			f, ok := open[e.Span]
+			if !ok {
+				continue
+			}
+			delete(open, e.Span)
+			f.End = e.At
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Diff compares two traces of the same scenario: per-kind and per-drop
+// count deltas (b minus a) plus the completion-latency shift.
+type Diff struct {
+	Kinds       []KindCount   // kinds whose counts differ, catalog order
+	Drops       []ReasonCount // drop reasons whose counts differ
+	EventsDelta int64
+	// LastCompletionDelta is the shift of the final completion time
+	// (b - a); negative means b disseminated faster.
+	LastCompletionDelta sim.Time
+}
+
+// DiffTraces computes the Diff of two event streams.
+func DiffTraces(a, b []Event) Diff {
+	sa, sb := Summarize(a), Summarize(b)
+	var d Diff
+	d.EventsDelta = sb.Events - sa.Events
+
+	var ka, kb [kindMax]int64
+	for _, kc := range sa.Kinds {
+		ka[kc.Kind] = kc.N
+	}
+	for _, kc := range sb.Kinds {
+		kb[kc.Kind] = kc.N
+	}
+	for _, k := range Kinds() {
+		if kb[k] != ka[k] {
+			d.Kinds = append(d.Kinds, KindCount{Kind: k, N: kb[k] - ka[k]})
+		}
+	}
+
+	var ra, rb [dropReasonMax]int64
+	for _, rc := range sa.Drops {
+		ra[rc.Reason] = rc.N
+	}
+	for _, rc := range sb.Drops {
+		rb[rc.Reason] = rc.N
+	}
+	for _, r := range DropReasons() {
+		if rb[r] != ra[r] {
+			d.Drops = append(d.Drops, ReasonCount{Reason: r, N: rb[r] - ra[r]})
+		}
+	}
+
+	d.LastCompletionDelta = lastCompletion(b) - lastCompletion(a)
+	return d
+}
+
+// lastCompletion returns the final completion timestamp, 0 when none.
+func lastCompletion(events []Event) sim.Time {
+	var last sim.Time
+	for _, e := range events {
+		if e.Kind == KindComplete && e.At > last {
+			last = e.At
+		}
+	}
+	return last
+}
+
+// FilterNode returns the events touching one node (as subject or peer),
+// preserving order.
+func FilterNode(events []Event, node int) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Node == node || e.Peer == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}

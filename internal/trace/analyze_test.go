@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+// mkEvent builds a minimal event with the absent-field sentinels set.
+func mkEvent(at sim.Time, k Kind, node int) Event {
+	return Event{SchemaV: Schema, At: at, Kind: k, Node: node,
+		Peer: NoNode, Unit: NoUnit, Index: NoUnit}
+}
+
+// sampleTrace is a small hand-built run: two nodes, drops of two reasons,
+// one span, completions out of node order.
+func sampleTrace() []Event {
+	d1 := mkEvent(2, KindDrop, 1)
+	d1.Peer = 0
+	d1.Reason = DropChannel
+	d2 := mkEvent(3, KindDrop, 1)
+	d2.Peer = 0
+	d2.Reason = DropFault
+	d3 := mkEvent(4, KindDrop, 0)
+	d3.Peer = 1
+	d3.Reason = DropChannel
+	sb := mkEvent(5, KindSpanBegin, 1)
+	sb.Unit = 2
+	sb.Span = 1
+	sb.Name = "page-fetch"
+	se := mkEvent(8, KindSpanEnd, 1)
+	se.Unit = 2
+	se.Span = 1
+	se.Name = "page-fetch"
+	fa := mkEvent(9, KindFault, NoNode)
+	fa.Name = "heal"
+	return []Event{
+		mkEvent(1, KindTx, 0),
+		d1, d2, d3, sb, se, fa,
+		mkEvent(10, KindComplete, 1),
+		mkEvent(12, KindComplete, 0),
+		mkEvent(13, KindComplete, 1), // duplicate completion; ignored
+	}
+}
+
+// TestSummarize checks totals, histograms, node set and time bounds.
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleTrace())
+	if s.SchemaV != Schema || s.Events != 10 {
+		t.Fatalf("schema=%d events=%d", s.SchemaV, s.Events)
+	}
+	if s.FirstAt != 1 || s.LastAt != 13 {
+		t.Fatalf("bounds [%v, %v]", s.FirstAt, s.LastAt)
+	}
+	if len(s.Nodes) != 2 || s.Nodes[0] != 0 || s.Nodes[1] != 1 {
+		t.Fatalf("nodes %v", s.Nodes)
+	}
+	if s.Completions != 3 || s.Faults != 1 {
+		t.Fatalf("completions=%d faults=%d", s.Completions, s.Faults)
+	}
+	want := map[Kind]int64{KindTx: 1, KindDrop: 3, KindSpanBegin: 1,
+		KindSpanEnd: 1, KindFault: 1, KindComplete: 3}
+	if len(s.Kinds) != len(want) {
+		t.Fatalf("kind rows %v", s.Kinds)
+	}
+	for _, kc := range s.Kinds {
+		if want[kc.Kind] != kc.N {
+			t.Fatalf("kind %v = %d, want %d", kc.Kind, kc.N, want[kc.Kind])
+		}
+	}
+	if len(s.Drops) != 2 || s.Drops[0].Reason != DropChannel || s.Drops[0].N != 2 ||
+		s.Drops[1].Reason != DropFault || s.Drops[1].N != 1 {
+		t.Fatalf("drops %v", s.Drops)
+	}
+}
+
+// TestSummaryJSONGolden pins the deterministic JSON rendering byte-exactly.
+func TestSummaryJSONGolden(t *testing.T) {
+	got := string(Summarize(sampleTrace()).AppendJSON(nil))
+	want := `{"schema":1,"events":10,"nodes":2,"first_ns":1,"last_ns":13,` +
+		`"completions":3,"faults":1,` +
+		`"kinds":{"tx":1,"drop":3,"complete":3,"fault":1,"span-begin":1,"span-end":1},` +
+		`"drops":{"channel":2,"fault":1}}`
+	if got != want {
+		t.Fatalf("summary JSON:\n got %s\nwant %s", got, want)
+	}
+	// The empty trace renders without panicking.
+	empty := string(Summarize(nil).AppendJSON(nil))
+	wantEmpty := `{"schema":0,"events":0,"nodes":0,"first_ns":0,"last_ns":0,` +
+		`"completions":0,"faults":0,"kinds":{},"drops":{}}`
+	if empty != wantEmpty {
+		t.Fatalf("empty summary JSON: %s", empty)
+	}
+}
+
+// TestCompletions checks first-completion dedupe and CDF ordering.
+func TestCompletions(t *testing.T) {
+	cs := Completions(sampleTrace())
+	if len(cs) != 2 {
+		t.Fatalf("got %d completions, want 2", len(cs))
+	}
+	if cs[0].Node != 1 || cs[0].At != 10 || cs[1].Node != 0 || cs[1].At != 12 {
+		t.Fatalf("completions %v", cs)
+	}
+}
+
+// TestSpans checks begin/end pairing, the name filter, and that
+// unterminated spans are dropped.
+func TestSpans(t *testing.T) {
+	evs := sampleTrace()
+	// An unterminated span: begin with no end.
+	orphan := mkEvent(11, KindSpanBegin, 0)
+	orphan.Span = 2
+	orphan.Name = "sig-verify"
+	evs = append(evs, orphan)
+
+	all := Spans(evs, "")
+	if len(all) != 1 {
+		t.Fatalf("got %d spans, want 1 (orphan dropped)", len(all))
+	}
+	f := all[0]
+	if f.Node != 1 || f.Unit != 2 || f.Name != "page-fetch" || f.Start != 5 || f.End != 8 {
+		t.Fatalf("span %+v", f)
+	}
+	if f.Duration() != 3 {
+		t.Fatalf("duration %v", f.Duration())
+	}
+	if got := Spans(evs, "sig-verify"); len(got) != 0 {
+		t.Fatalf("name filter leaked %v", got)
+	}
+	if got := Spans(evs, "page-fetch"); len(got) != 1 {
+		t.Fatalf("name filter lost the page fetch")
+	}
+}
+
+// TestDiffTraces checks per-kind deltas, drop deltas and the completion
+// shift between a trace and a modified copy.
+func TestDiffTraces(t *testing.T) {
+	a := sampleTrace()
+	b := append(append([]Event{}, a...),
+		mkEvent(14, KindTx, 0),
+		func() Event {
+			e := mkEvent(15, KindDrop, 1)
+			e.Reason = DropAuth
+			return e
+		}(),
+	)
+	// b's last completion moves later.
+	b = append(b, mkEvent(20, KindComplete, 0))
+
+	d := DiffTraces(a, b)
+	if d.EventsDelta != 3 {
+		t.Fatalf("events delta %d", d.EventsDelta)
+	}
+	kinds := map[Kind]int64{}
+	for _, kc := range d.Kinds {
+		kinds[kc.Kind] = kc.N
+	}
+	if kinds[KindTx] != 1 || kinds[KindDrop] != 1 || kinds[KindComplete] != 1 {
+		t.Fatalf("kind deltas %v", d.Kinds)
+	}
+	if len(d.Drops) != 1 || d.Drops[0].Reason != DropAuth || d.Drops[0].N != 1 {
+		t.Fatalf("drop deltas %v", d.Drops)
+	}
+	if d.LastCompletionDelta != 7 { // 20 - 13 (a's last complete event)
+		t.Fatalf("completion delta %v", d.LastCompletionDelta)
+	}
+	// Self-diff is empty.
+	if dd := DiffTraces(a, a); dd.EventsDelta != 0 || len(dd.Kinds) != 0 || len(dd.Drops) != 0 || dd.LastCompletionDelta != 0 {
+		t.Fatalf("self-diff nonzero: %+v", dd)
+	}
+}
+
+// TestFilterNode checks subject-or-peer filtering preserves order.
+func TestFilterNode(t *testing.T) {
+	evs := FilterNode(sampleTrace(), 0)
+	// Node 0 appears as subject (tx, drop at 4, complete) and as peer of
+	// the two drops at 2 and 3.
+	if len(evs) != 5 {
+		t.Fatalf("got %d events for node 0: %+v", len(evs), evs)
+	}
+	var last sim.Time
+	for _, e := range evs {
+		if e.At < last {
+			t.Fatalf("order not preserved: %v after %v", e.At, last)
+		}
+		last = e.At
+	}
+}

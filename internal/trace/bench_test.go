@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"io"
+	"testing"
+
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+)
+
+// BenchmarkDisabledTracer measures the cost of an instrumentation site when
+// tracing is off: one nil check and an immediate return. This is the price
+// every protocol hot path pays by default, so it must stay in the
+// fraction-of-a-nanosecond range.
+func BenchmarkDisabledTracer(b *testing.B) {
+	var tr *Tracer
+	p := &packet.Data{Src: 1, Unit: 2, Index: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Tx(1, p)
+	}
+}
+
+// BenchmarkEmitCount measures tracer throughput into the cheapest sink —
+// the events/sec ceiling of the subsystem itself.
+func BenchmarkEmitCount(b *testing.B) {
+	eng := sim.New()
+	var c Count
+	tr, _ := New(eng, &c)
+	p := &packet.Data{Src: 1, Unit: 2, Index: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rx(2, 1, p)
+	}
+}
+
+// BenchmarkEmitJSONL measures end-to-end encode throughput into a discarded
+// JSONL stream — the realistic cost of tracing a run to disk, minus the
+// disk.
+func BenchmarkEmitJSONL(b *testing.B) {
+	eng := sim.New()
+	s := NewJSONLSink(io.Discard)
+	tr, _ := New(eng, s)
+	p := &packet.Data{Src: 1, Unit: 2, Index: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rx(2, 1, p)
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAppendJSON isolates the encoder.
+func BenchmarkAppendJSON(b *testing.B) {
+	e := Event{SchemaV: 1, At: 123456789, Kind: KindRx, Node: 7, Peer: 3,
+		Pkt: packet.TypeData, Unit: 4, Index: 11}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendJSON(buf[:0], e)
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeValidJSON verifies the exporter emits a valid trace_event
+// JSON array with one entry per event plus the two metadata records, spans
+// as B/E pairs and instants with a scope.
+func TestWriteChromeValidJSON(t *testing.T) {
+	evs := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(arr) != len(evs)+2 {
+		t.Fatalf("got %d records for %d events (+2 metadata)", len(arr), len(evs))
+	}
+	var begins, ends, instants int
+	for _, rec := range arr {
+		switch rec["ph"] {
+		case "B":
+			begins++
+			if rec["name"] != "page-fetch" {
+				t.Fatalf("span begin name %v", rec["name"])
+			}
+		case "E":
+			ends++
+		case "i":
+			instants++
+			if rec["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", rec)
+			}
+		case "M":
+			continue
+		default:
+			t.Fatalf("unexpected phase %v", rec["ph"])
+		}
+		if rec["pid"] != float64(1) {
+			t.Fatalf("pid %v", rec["pid"])
+		}
+		if _, ok := rec["tid"].(float64); !ok {
+			t.Fatalf("tid missing: %v", rec)
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("spans: %d begins, %d ends", begins, ends)
+	}
+	if instants != len(evs)-2 {
+		t.Fatalf("%d instants for %d non-span events", instants, len(evs)-2)
+	}
+}
+
+// TestWriteChromeDeterministic pins byte-identical output for identical
+// input.
+func TestWriteChromeDeterministic(t *testing.T) {
+	evs := sampleTrace()
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same events, different chrome JSON")
+	}
+}
+
+// TestChromeTimestampsMicroseconds verifies nanosecond sim times land in
+// the µs-denominated ts field with the fraction preserved.
+func TestChromeTimestampsMicroseconds(t *testing.T) {
+	e := mkEvent(1500, KindComplete, 0) // 1500 ns = 1.5 µs
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []Event{e}); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatal(err)
+	}
+	last := arr[len(arr)-1]
+	if last["ts"] != 1.5 {
+		t.Fatalf("ts = %v, want 1.5", last["ts"])
+	}
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"lrseluge/internal/packet"
+	"lrseluge/internal/sim"
+)
+
+// JSONL schema (version 1). One flat object per event, one event per line,
+// keys in this fixed order with absent fields omitted:
+//
+//	v    int     schema version (always present)
+//	t    int64   virtual timestamp, nanoseconds on the sim clock (always)
+//	k    string  event kind (always; see Kinds)
+//	n    int     primary node
+//	pe   int     peer node
+//	pk   string  packet type (adv | snack | data | sig)
+//	u    int     unit number
+//	i    int     packet index within the unit
+//	r    string  drop reason (see DropReasons)
+//	from string  state-transition origin (maintain | rx | tx)
+//	to   string  state-transition target
+//	sp   uint64  span id pairing span-begin/span-end
+//	name string  span/machine/fault label
+//	x    float64 scalar payload (shortest round-trip formatting)
+//
+// Numbers are rendered with strconv (shortest round-trip for x), so the
+// byte stream is a deterministic function of the event sequence alone.
+
+// AppendJSON appends the one-line JSON encoding of e (without the trailing
+// newline) and returns the extended buffer.
+func AppendJSON(buf []byte, e Event) []byte {
+	buf = append(buf, `{"v":`...)
+	buf = strconv.AppendInt(buf, int64(e.SchemaV), 10)
+	buf = append(buf, `,"t":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	buf = append(buf, `,"k":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, '"')
+	if e.Node != NoNode {
+		buf = append(buf, `,"n":`...)
+		buf = strconv.AppendInt(buf, int64(e.Node), 10)
+	}
+	if e.Peer != NoNode {
+		buf = append(buf, `,"pe":`...)
+		buf = strconv.AppendInt(buf, int64(e.Peer), 10)
+	}
+	if e.Pkt != 0 {
+		buf = append(buf, `,"pk":"`...)
+		buf = append(buf, e.Pkt.String()...)
+		buf = append(buf, '"')
+	}
+	if e.Unit != NoUnit {
+		buf = append(buf, `,"u":`...)
+		buf = strconv.AppendInt(buf, int64(e.Unit), 10)
+	}
+	if e.Index != NoUnit {
+		buf = append(buf, `,"i":`...)
+		buf = strconv.AppendInt(buf, int64(e.Index), 10)
+	}
+	if e.Reason != 0 {
+		buf = append(buf, `,"r":"`...)
+		buf = append(buf, e.Reason.String()...)
+		buf = append(buf, '"')
+	}
+	if e.From != 0 {
+		buf = append(buf, `,"from":"`...)
+		buf = append(buf, e.From.String()...)
+		buf = append(buf, '"')
+	}
+	if e.To != 0 {
+		buf = append(buf, `,"to":"`...)
+		buf = append(buf, e.To.String()...)
+		buf = append(buf, '"')
+	}
+	if e.Span != 0 {
+		buf = append(buf, `,"sp":`...)
+		buf = strconv.AppendUint(buf, e.Span, 10)
+	}
+	if e.Name != "" {
+		buf = append(buf, `,"name":`...)
+		b, err := json.Marshal(e.Name)
+		if err != nil {
+			b = []byte(`""`) // strings cannot fail to marshal; stay total
+		}
+		buf = append(buf, b...)
+	}
+	if e.Value != 0 && !math.IsNaN(e.Value) && !math.IsInf(e.Value, 0) {
+		buf = append(buf, `,"x":`...)
+		buf = strconv.AppendFloat(buf, e.Value, 'g', -1, 64)
+	}
+	return append(buf, '}')
+}
+
+// parseKind inverts Kind.String for wire values.
+func parseKind(s string) (Kind, error) {
+	for k := KindTx; k < kindMax; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// parseDropReason inverts DropReason.String for wire values.
+func parseDropReason(s string) (DropReason, error) {
+	for r := DropChannel; r < dropReasonMax; r++ {
+		if dropNames[r] == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown drop reason %q", s)
+}
+
+// parseState inverts State.String for wire values.
+func parseState(s string) (State, error) {
+	for st := StateMaintain; st < stateMax; st++ {
+		if stateNames[st] == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown state %q", s)
+}
+
+// parsePacketType inverts packet.Type.String for wire values.
+func parsePacketType(s string) (packet.Type, error) {
+	for _, t := range []packet.Type{packet.TypeAdv, packet.TypeSNACK, packet.TypeData, packet.TypeSig} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown packet type %q", s)
+}
+
+// wireEvent mirrors the JSONL schema for decoding; pointers distinguish
+// absent from zero.
+type wireEvent struct {
+	V    *int     `json:"v"`
+	T    *int64   `json:"t"`
+	K    *string  `json:"k"`
+	N    *int     `json:"n"`
+	Pe   *int     `json:"pe"`
+	Pk   *string  `json:"pk"`
+	U    *int     `json:"u"`
+	I    *int     `json:"i"`
+	R    *string  `json:"r"`
+	From *string  `json:"from"`
+	To   *string  `json:"to"`
+	Sp   *uint64  `json:"sp"`
+	Name *string  `json:"name"`
+	X    *float64 `json:"x"`
+}
+
+// DecodeLine parses one JSONL line produced by AppendJSON. Unknown fields,
+// unknown vocabulary and unknown schema versions are errors — the trace
+// format is a contract, not a suggestion.
+func DecodeLine(line []byte) (Event, error) {
+	var w wireEvent
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return Event{}, fmt.Errorf("trace: decode: %w", err)
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("trace: decode: trailing data after event")
+	}
+	if w.V == nil || w.T == nil || w.K == nil {
+		return Event{}, fmt.Errorf("trace: decode: missing required field (v, t or k)")
+	}
+	if *w.V != Schema {
+		return Event{}, fmt.Errorf("trace: decode: schema version %d, this build reads %d", *w.V, Schema)
+	}
+	e := Event{SchemaV: *w.V, At: sim.Time(*w.T), Node: NoNode, Peer: NoNode, Unit: NoUnit, Index: NoUnit}
+	var err error
+	if e.Kind, err = parseKind(*w.K); err != nil {
+		return Event{}, err
+	}
+	if w.N != nil {
+		e.Node = *w.N
+	}
+	if w.Pe != nil {
+		e.Peer = *w.Pe
+	}
+	if w.Pk != nil {
+		if e.Pkt, err = parsePacketType(*w.Pk); err != nil {
+			return Event{}, err
+		}
+	}
+	if w.U != nil {
+		e.Unit = *w.U
+	}
+	if w.I != nil {
+		e.Index = *w.I
+	}
+	if w.R != nil {
+		if e.Reason, err = parseDropReason(*w.R); err != nil {
+			return Event{}, err
+		}
+	}
+	if w.From != nil {
+		if e.From, err = parseState(*w.From); err != nil {
+			return Event{}, err
+		}
+	}
+	if w.To != nil {
+		if e.To, err = parseState(*w.To); err != nil {
+			return Event{}, err
+		}
+	}
+	if w.Sp != nil {
+		e.Span = *w.Sp
+	}
+	if w.Name != nil {
+		e.Name = *w.Name
+	}
+	if w.X != nil {
+		e.Value = *w.X
+	}
+	return e, nil
+}
+
+// ReadAll decodes a JSONL trace stream, skipping blank lines. It fails on
+// the first malformed line, reporting its 1-based number.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := DecodeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+)
+
+// Ring is a bounded in-memory sink keeping the most recent events:
+// drop-oldest on overflow, with a counter of what was lost. Useful for
+// post-mortem inspection in tests and for tools that only need the tail.
+type Ring struct {
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // retained count
+	dropped uint64
+}
+
+// NewRing returns a ring retaining at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink, evicting the oldest event when full.
+func (r *Ring) Emit(e Event) {
+	if r.n == len(r.buf) {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// Flush implements Sink; a ring has nothing to flush.
+func (r *Ring) Flush() error { return nil }
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return r.n }
+
+// Dropped returns how many events were evicted to make room.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// JSONLSink streams events as JSONL (see encode.go for the schema). The
+// byte stream is a deterministic function of the event sequence, so
+// same-seed runs produce byte-identical trace files.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error // first write error; Flush reports it
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink. Emit cannot return an error (it is called from
+// inside the hot simulation loop); the first failure is latched and
+// surfaced by Flush.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendJSON(s.buf[:0], e)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// Flush implements Sink, reporting any latched write error.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Count discards events and counts them by kind — the cheapest possible
+// sink, used to benchmark tracer throughput.
+type Count struct {
+	total  uint64
+	byKind [kindMax]uint64
+}
+
+// Emit implements Sink.
+func (c *Count) Emit(e Event) {
+	c.total++
+	if e.Kind > 0 && e.Kind < kindMax {
+		c.byKind[e.Kind]++
+	}
+}
+
+// Flush implements Sink.
+func (c *Count) Flush() error { return nil }
+
+// Total returns the number of events seen.
+func (c *Count) Total() uint64 { return c.total }
+
+// Of returns the number of events of one kind.
+func (c *Count) Of(k Kind) uint64 {
+	if k > 0 && k < kindMax {
+		return c.byKind[k]
+	}
+	return 0
+}
+
+// Tee fans one event stream out to several sinks in order. Flush flushes
+// all of them and returns the first error.
+type Tee struct {
+	sinks []Sink
+}
+
+// NewTee returns a sink duplicating events to each of sinks.
+func NewTee(sinks ...Sink) *Tee { return &Tee{sinks: sinks} }
+
+// Emit implements Sink.
+func (t *Tee) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Flush implements Sink.
+func (t *Tee) Flush() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

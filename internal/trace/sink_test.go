@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+// TestRingDropOldest verifies the bounded ring's eviction policy and the
+// dropped-events counter.
+func TestRingDropOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KindComplete, Node: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", r.Dropped())
+	}
+	evs := r.Events()
+	for i, want := range []int{2, 3, 4} {
+		if evs[i].Node != want {
+			t.Fatalf("retained nodes %v, want [2 3 4]", evs)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate capacity is clamped, not panicked on.
+	r0 := NewRing(0)
+	r0.Emit(Event{Kind: KindComplete, Node: 1})
+	r0.Emit(Event{Kind: KindComplete, Node: 2})
+	if r0.Len() != 1 || r0.Events()[0].Node != 2 || r0.Dropped() != 1 {
+		t.Fatalf("clamped ring: len=%d dropped=%d", r0.Len(), r0.Dropped())
+	}
+}
+
+// TestJSONLSinkDeterminism verifies the byte stream is a pure function of
+// the event sequence: two sinks fed the same events produce identical bytes.
+func TestJSONLSinkDeterminism(t *testing.T) {
+	events := []Event{
+		{SchemaV: 1, At: 1, Kind: KindTx, Node: 0, Peer: NoNode, Unit: NoUnit, Index: NoUnit},
+		{SchemaV: 1, At: 2, Kind: KindDrop, Node: 1, Peer: 0, Unit: NoUnit, Index: NoUnit, Reason: DropChannel},
+		{SchemaV: 1, At: 3, Kind: KindComplete, Node: 1, Peer: NoNode, Unit: NoUnit, Index: NoUnit},
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		s := NewJSONLSink(&buf)
+		for _, e := range events {
+			s.Emit(e)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same events, different bytes:\n%s\nvs\n%s", a, b)
+	}
+	if lines := strings.Count(a, "\n"); lines != len(events) {
+		t.Fatalf("%d lines for %d events", lines, len(events))
+	}
+	// The stream reads back to the same events.
+	got, err := ReadAll(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestJSONLSinkLatchesError verifies Emit stays total under write failure
+// and Flush surfaces the first error.
+func TestJSONLSinkLatchesError(t *testing.T) {
+	s := NewJSONLSink(&failWriter{budget: 8})
+	big := Event{SchemaV: 1, At: 1, Kind: KindFault, Node: NoNode, Peer: NoNode,
+		Unit: NoUnit, Index: NoUnit, Name: strings.Repeat("x", 8192)}
+	s.Emit(big)
+	s.Emit(big) // past the budget; must not panic
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush did not surface the write error")
+	}
+}
+
+// TestCountSink verifies totals and per-kind counts.
+func TestCountSink(t *testing.T) {
+	var c Count
+	c.Emit(Event{Kind: KindTx})
+	c.Emit(Event{Kind: KindTx})
+	c.Emit(Event{Kind: KindDrop})
+	if c.Total() != 3 || c.Of(KindTx) != 2 || c.Of(KindDrop) != 1 || c.Of(KindRx) != 0 {
+		t.Fatalf("total=%d tx=%d drop=%d rx=%d", c.Total(), c.Of(KindTx), c.Of(KindDrop), c.Of(KindRx))
+	}
+	if c.Of(Kind(200)) != 0 {
+		t.Fatal("out-of-range kind nonzero")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTee verifies fan-out order-preservation and first-error flushing.
+func TestTee(t *testing.T) {
+	r1, r2 := NewRing(8), NewRing(8)
+	var c Count
+	tee := NewTee(r1, &c, r2)
+	eng := sim.New()
+	tr, _ := New(eng, tee)
+	tr.Complete(1)
+	tr.Complete(2)
+	if r1.Len() != 2 || r2.Len() != 2 || c.Total() != 2 {
+		t.Fatalf("fan-out missed a sink: %d/%d/%d", r1.Len(), r2.Len(), c.Total())
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	failing := NewJSONLSink(&failWriter{})
+	failing.Emit(Event{SchemaV: 1, At: 0, Kind: KindComplete, Node: 1, Peer: NoNode,
+		Unit: NoUnit, Index: NoUnit, Name: strings.Repeat("y", 8192)})
+	if err := NewTee(NewRing(1), failing).Flush(); err == nil {
+		t.Fatal("tee swallowed a sink flush error")
+	}
+}

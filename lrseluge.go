@@ -39,6 +39,8 @@
 package lrseluge
 
 import (
+	"io"
+
 	"lrseluge/internal/analysis"
 	"lrseluge/internal/experiment"
 	"lrseluge/internal/fault"
@@ -46,6 +48,7 @@ import (
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
+	"lrseluge/internal/trace"
 )
 
 // Protocol selects the dissemination scheme under test.
@@ -173,6 +176,31 @@ func ChurnComparison(params Params, imageSize, receivers int, rates []float64, p
 func OutageComparison(params Params, imageSize, receivers int, duties []float64, period Time, p float64, horizon Time, runs int, seed int64) ([]ComparisonPoint, error) {
 	return experiment.OutageComparison(params, imageSize, receivers, duties, period, p, horizon, runs, seed)
 }
+
+// Protocol tracing (Scenario.Trace; analyzed offline by cmd/lrtrace).
+
+// TraceSink receives the structured protocol event stream of a traced run
+// (packet lifecycle, state transitions, unit milestones, faults), stamped on
+// the virtual clock. Same-seed runs produce identical event sequences.
+type TraceSink = trace.Sink
+
+// TraceEvent is one structured protocol event.
+type TraceEvent = trace.Event
+
+// TraceRing is a bounded in-memory trace sink keeping the newest events.
+type TraceRing = trace.Ring
+
+// NewTraceJSONL returns a sink encoding one JSON line per event to w; assign
+// it to Scenario.Trace. Run flushes the sink before returning.
+func NewTraceJSONL(w io.Writer) TraceSink { return trace.NewJSONLSink(w) }
+
+// NewTraceRing returns a drop-oldest in-memory sink retaining at most
+// capacity events.
+func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// ReadTrace decodes a JSONL trace stream back into events, rejecting unknown
+// schemas and vocabulary.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return trace.ReadAll(r) }
 
 // Closed-form models (paper §V).
 

@@ -3,8 +3,12 @@
 # artifact is the gate — diffed against its committed golden, so any new
 # finding shows up in the diff — with the analyzer selfbench written to
 # BENCH_lint.json), race-enabled tests, lrsweep golden-JSONL diff, the
-# serial-vs-parallel sweep bench, and the churn-sweep fault-injection bench
-# (BENCH_fault.json).
+# serial-vs-parallel sweep bench, the churn-sweep fault-injection bench
+# (BENCH_fault.json), and the tracing gates: traced-sweep metrics must stay
+# byte-equal to the untraced golden, per-run trace directories must be
+# worker-invariant, lrtrace must reproduce its committed summary golden on
+# a churn-fault run, and the tracer overhead bench (BENCH_trace.json) must
+# keep the disabled-tracer cost under 2%.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -35,8 +39,8 @@ diff -u cmd/lrlint/testdata/lint_clean.golden.json "$tmpdir/lint.json"
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -race ./internal/harness/... ./internal/fault/... (concurrency-sensitive packages, verbose gate)"
-go test -race -count=1 ./internal/harness/... ./internal/fault/...
+echo "==> go test -race ./internal/harness/... ./internal/fault/... ./internal/trace/... (concurrency-sensitive packages, verbose gate)"
+go test -race -count=1 ./internal/harness/... ./internal/fault/... ./internal/trace/...
 
 echo "==> lrsweep smoke sweep vs golden"
 go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 2 -o "$tmpdir/smoke.jsonl"
@@ -47,5 +51,29 @@ go run ./cmd/lrsweep -sweep multihop -quick -runs 8 -parallel 8 -selfbench BENCH
 
 echo "==> lrsweep churn-sweep selfbench (fault subsystem -> BENCH_fault.json)"
 go run ./cmd/lrsweep -sweep churn -quick -runs 4 -parallel 4 -selfbench BENCH_fault.json
+
+echo "==> traced smoke sweep: metrics byte-equal to the untraced golden, trace dirs worker-invariant"
+go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 1 -trace-dir "$tmpdir/tr1" -o "$tmpdir/smoke_traced.jsonl"
+diff -u cmd/lrsweep/testdata/smoke_sweep.golden.jsonl "$tmpdir/smoke_traced.jsonl"
+go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 4 -trace-dir "$tmpdir/tr4" -o "$tmpdir/smoke_traced_p4.jsonl"
+diff -r "$tmpdir/tr1" "$tmpdir/tr4"
+
+echo "==> lrtrace on a churn-fault run (summary golden + every subcommand)"
+go run ./cmd/lrsim -proto lr-seluge -kb 4 -receivers 5 -seed 1 -runs 1 \
+    -trace "$tmpdir/base.jsonl" > /dev/null
+go run ./cmd/lrsim -proto lr-seluge -kb 4 -receivers 5 -seed 1 -runs 1 \
+    -faults examples/faults/churn.json -trace "$tmpdir/churn.jsonl" > /dev/null
+go run ./cmd/lrtrace summary -json "$tmpdir/churn.jsonl" > "$tmpdir/churn_summary.json"
+diff -u cmd/lrtrace/testdata/churn_summary.golden.json "$tmpdir/churn_summary.json"
+go run ./cmd/lrtrace summary "$tmpdir/churn.jsonl" > /dev/null
+go run ./cmd/lrtrace timeline -node 2 "$tmpdir/churn.jsonl" > /dev/null
+go run ./cmd/lrtrace latency -csv "$tmpdir/fetch.csv" "$tmpdir/churn.jsonl" > /dev/null
+go run ./cmd/lrtrace convert -chrome -o "$tmpdir/churn.trace.json" "$tmpdir/churn.jsonl"
+go run ./cmd/lrtrace diff "$tmpdir/base.jsonl" "$tmpdir/churn.jsonl" > /dev/null
+
+echo "==> lrsweep tracebench (tracer overhead -> BENCH_trace.json, disabled overhead < 2%)"
+go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -tracebench BENCH_trace.json
+frac=$(sed -n 's/.*"disabled_overhead_frac": \([0-9.eE+-]*\),*/\1/p' BENCH_trace.json)
+awk -v f="$frac" 'BEGIN { if (f == "" || f >= 0.02) { print "disabled_overhead_frac gate failed: " f; exit 1 } }'
 
 echo "OK"
