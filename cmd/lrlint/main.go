@@ -6,6 +6,8 @@
 //	go run ./cmd/lrlint -json ./... > lint.json
 //	go run ./cmd/lrlint -rules verify-before-use,rng-stream-discipline ./...
 //	go run ./cmd/lrlint -selfbench BENCH_lint.json ./...
+//	go run ./cmd/lrlint -baseline lint-baseline.json ./...
+//	go run ./cmd/lrlint -sarif lint.sarif ./...
 //
 // The positional argument may be ./... (whole module, the default) or a
 // directory inside the module; either way the whole module containing it is
@@ -16,9 +18,17 @@
 // instead of the human-readable lines; scripts/check.sh diffs it against a
 // committed golden so the clean state is pinned byte-for-byte. -rules
 // restricts the run to a comma-separated subset of the catalog. -selfbench
-// times the load and the serial-vs-parallel analysis and writes the result
-// to the given JSON file (wall-clock use is fine here: lrlint is tooling,
-// not simulation, and lives outside internal/).
+// times the load, the serial-vs-parallel analysis, and each pass in
+// isolation, and writes the result to the given JSON file (wall-clock use is
+// fine here: lrlint is tooling, not simulation, and lives outside
+// internal/).
+//
+// -baseline subtracts a committed lint-baseline.json from the findings so
+// only DRIFT — findings the baseline has never accepted — fails the gate;
+// -write-baseline snapshots the current findings into that artifact. -sarif
+// additionally writes the surviving findings as a SARIF 2.1.0 log ("-" for
+// stdout) for code-scanning UIs. -unused-ignores (default true) controls the
+// stale-directive pass.
 package main
 
 import (
@@ -48,6 +58,10 @@ func run(args []string) (int, error) {
 	jsonOut := fs.Bool("json", false, "emit the diagnostic report as JSON on stdout")
 	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	selfbench := fs.String("selfbench", "", "write a load/analyze timing benchmark to this JSON file")
+	baselinePath := fs.String("baseline", "", "subtract this accepted-findings baseline; only drift fails")
+	writeBaseline := fs.String("write-baseline", "", "snapshot the current findings to this baseline file and exit 0")
+	sarifPath := fs.String("sarif", "", "also write surviving findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	unusedIgnores := fs.Bool("unused-ignores", true, "flag //lrlint:ignore directives that suppress nothing")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -92,6 +106,7 @@ func run(args []string) (int, error) {
 
 	cfg := lint.DefaultConfig(modPath)
 	cfg.Rules = rules
+	cfg.UnusedIgnores = *unusedIgnores
 	if wd, err := os.Getwd(); err == nil {
 		cfg.TrimPrefix = wd
 	}
@@ -102,6 +117,37 @@ func run(args []string) (int, error) {
 
 	if *selfbench != "" {
 		if err := writeSelfbench(*selfbench, modPath, pkgs, cfg, loadDur, analyzeDur, len(diags)); err != nil {
+			return 0, err
+		}
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.NewBaseline(diags).WriteFile(*writeBaseline); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "lrlint: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0, nil
+	}
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			return 0, err
+		}
+		before := len(diags)
+		diags = base.Subtract(diags)
+		if absorbed := before - len(diags); absorbed > 0 {
+			fmt.Fprintf(os.Stderr, "lrlint: baseline absorbed %d finding(s)\n", absorbed)
+		}
+	}
+
+	if *sarifPath != "" {
+		b, err := lint.ToSARIF(diags)
+		if err != nil {
+			return 0, err
+		}
+		if *sarifPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*sarifPath, b, 0o644); err != nil {
 			return 0, err
 		}
 	}
@@ -134,22 +180,26 @@ func knownRule(name string) bool {
 	return false
 }
 
-// selfbenchReport is the BENCH_lint.json schema: module-scale numbers plus
-// the serial-vs-parallel analysis comparison that justifies the concurrent
-// driver.
+// selfbenchReport is the BENCH_lint.json schema: module-scale numbers, the
+// serial-vs-parallel analysis comparison that justifies the concurrent
+// driver, per-pass wall times, and the total gate cost (load + analyze) that
+// scripts/check.sh guards against regression.
 type selfbenchReport struct {
-	Module            string  `json:"module"`
-	Packages          int     `json:"packages"`
-	Findings          int     `json:"findings"`
-	Workers           int     `json:"workers"`
-	LoadMs            float64 `json:"load_ms"`
-	AnalyzeParallelMs float64 `json:"analyze_parallel_ms"`
-	AnalyzeSerialMs   float64 `json:"analyze_serial_ms"`
-	Speedup           float64 `json:"speedup"`
+	Module            string             `json:"module"`
+	Packages          int                `json:"packages"`
+	Findings          int                `json:"findings"`
+	Workers           int                `json:"workers"`
+	LoadMs            float64            `json:"load_ms"`
+	AnalyzeParallelMs float64            `json:"analyze_parallel_ms"`
+	AnalyzeSerialMs   float64            `json:"analyze_serial_ms"`
+	Speedup           float64            `json:"speedup"`
+	GateTotalMs       float64            `json:"gate_total_ms"`
+	PassMs            map[string]float64 `json:"pass_ms"`
 }
 
 // writeSelfbench re-runs the analysis one package at a time to get the
-// serial baseline, then records both timings.
+// serial baseline, times each pass in isolation via the Rules filter, and
+// records everything.
 func writeSelfbench(path, modPath string, pkgs []*lint.Package, cfg lint.Config, loadDur, parallelDur time.Duration, findings int) error {
 	serialStart := time.Now()
 	for _, pkg := range pkgs {
@@ -160,6 +210,20 @@ func writeSelfbench(path, modPath string, pkgs []*lint.Package, cfg lint.Config,
 	if parallelDur > 0 {
 		speedup = float64(serialDur) / float64(parallelDur)
 	}
+
+	ruleSet := cfg.Rules
+	if len(ruleSet) == 0 {
+		ruleSet = lint.AllRules
+	}
+	passMs := make(map[string]float64, len(ruleSet))
+	for _, rule := range ruleSet {
+		passCfg := cfg
+		passCfg.Rules = []string{rule}
+		start := time.Now()
+		lint.Run(pkgs, passCfg)
+		passMs[rule] = float64(time.Since(start).Microseconds()) / 1000
+	}
+
 	rep := selfbenchReport{
 		Module:            modPath,
 		Packages:          len(pkgs),
@@ -169,6 +233,8 @@ func writeSelfbench(path, modPath string, pkgs []*lint.Package, cfg lint.Config,
 		AnalyzeParallelMs: float64(parallelDur.Microseconds()) / 1000,
 		AnalyzeSerialMs:   float64(serialDur.Microseconds()) / 1000,
 		Speedup:           speedup,
+		GateTotalMs:       float64((loadDur + parallelDur).Microseconds()) / 1000,
+		PassMs:            passMs,
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

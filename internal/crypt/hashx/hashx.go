@@ -48,6 +48,20 @@ func SumImages(imgs ...Image) Image {
 	return img
 }
 
+// SumPair hashes the concatenation of exactly two images. It is byte-for-byte
+// identical to SumImages(a, b) but allocates nothing: Merkle verification
+// runs once per received M0 packet, and the variadic SumImages materializes
+// an argument slice per call.
+func SumPair(a, b Image) Image {
+	var buf [2 * Size]byte
+	copy(buf[:Size], a[:])
+	copy(buf[Size:], b[:])
+	full := sha256.Sum256(buf[:])
+	var img Image
+	copy(img[:], full[:Size])
+	return img
+}
+
 // Full computes the untruncated SHA-256 digest, used where the full strength
 // is required (signature pre-hash, key chains).
 func Full(parts ...[]byte) [sha256.Size]byte {

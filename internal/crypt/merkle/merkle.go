@@ -42,7 +42,7 @@ func Build(blocks [][]byte) (*Tree, error) {
 		prev := levels[lv-1]
 		cur := make([]hashx.Image, len(prev)/2)
 		for i := range cur {
-			cur[i] = hashx.SumImages(prev[2*i], prev[2*i+1])
+			cur[i] = hashx.SumPair(prev[2*i], prev[2*i+1])
 		}
 		levels[lv] = cur
 	}
@@ -84,9 +84,9 @@ func Verify(root hashx.Image, block []byte, index int, proof []hashx.Image) bool
 	i := index
 	for _, sib := range proof {
 		if i&1 == 0 {
-			cur = hashx.SumImages(cur, sib)
+			cur = hashx.SumPair(cur, sib)
 		} else {
-			cur = hashx.SumImages(sib, cur)
+			cur = hashx.SumPair(sib, cur)
 		}
 		i >>= 1
 	}

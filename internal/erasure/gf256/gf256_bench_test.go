@@ -18,6 +18,21 @@ func BenchmarkMulSlice(b *testing.B) {
 	}
 }
 
+// TestMulSliceAllocFree pins the innermost hot loop of the codec: the
+// multiply-accumulate over a shard must never touch the heap.
+func TestMulSliceAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 72)
+	dst := make([]byte, 72)
+	rng.Read(src)
+	allocs := testing.AllocsPerRun(100, func() {
+		MulSlice(7, src, dst)
+	})
+	if allocs != 0 {
+		t.Errorf("MulSlice allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func BenchmarkInvert32(b *testing.B) {
 	m := Cauchy(32, 32)
 	b.ReportAllocs()

@@ -69,8 +69,9 @@ func (c *Code) N() int { return c.n }
 func (c *Code) KPrime() int { return c.k }
 
 // Encode expands k equal-length data blocks into n encoded blocks. The first
-// k outputs alias fresh copies of the inputs (systematic part); the remaining
-// n-k are parity. The inputs are not modified.
+// k outputs are fresh copies of the inputs (systematic part); the remaining
+// n-k are parity. The inputs are not modified. All n shards share one backing
+// array: two allocations per codeword instead of n+1.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	if len(data) != c.k {
 		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
@@ -80,47 +81,83 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 	out := make([][]byte, c.n)
-	for i := 0; i < c.k; i++ {
-		out[i] = append([]byte(nil), data[i]...)
+	buf := make([]byte, c.n*size)
+	for i := range out {
+		out[i] = buf[i*size : (i+1)*size : (i+1)*size]
 	}
-	for i := c.k; i < c.n; i++ {
-		row := c.gen.Row(i)
-		shard := make([]byte, size)
-		for j := 0; j < c.k; j++ {
-			gf256.MulSlice(row[j], data[j], shard)
-		}
-		out[i] = shard
+	if err := c.EncodeInto(data, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// EncodeInto encodes into caller-provided shard storage: out must hold n
+// slices, each of the data blocks' common length. It allocates nothing, for
+// callers that re-encode per simulated transmission and recycle buffers.
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("%w: got %d data blocks, want %d", ErrShardCount, len(data), c.k)
+	}
+	size, err := checkSizes(data)
+	if err != nil {
+		return err
+	}
+	if len(out) != c.n {
+		return fmt.Errorf("%w: got %d output shards, want %d", ErrShardCount, len(out), c.n)
+	}
+	for _, o := range out {
+		if len(o) != size {
+			return ErrShardSize
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		copy(out[i], data[i])
+	}
+	for i := c.k; i < c.n; i++ {
+		row := c.gen.Row(i)
+		shard := out[i]
+		clear(shard)
+		for j := 0; j < c.k; j++ {
+			gf256.MulSlice(row[j], data[j], shard)
+		}
+	}
+	return nil
+}
+
 // Decode recovers the k original data blocks from a length-n slice of shards
 // in which missing shards are nil. It succeeds whenever at least k shards are
-// present. The input is not modified.
+// present. The input is not modified. The k outputs share one backing array.
 func (c *Code) Decode(shards [][]byte) ([][]byte, error) {
-	if len(shards) != c.n {
-		return nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardCount, len(shards), c.n)
+	size, err := c.scanShards(shards)
+	if err != nil {
+		return nil, err
 	}
-	present := make([]int, 0, c.k)
-	size := -1
-	for i, s := range shards {
-		if s == nil {
-			continue
-		}
-		if size < 0 {
-			size = len(s)
-		} else if len(s) != size {
-			return nil, ErrShardSize
-		}
-		if len(present) < c.k {
-			present = append(present, i)
-		}
+	out := make([][]byte, c.k)
+	buf := make([]byte, c.k*size)
+	for i := range out {
+		out[i] = buf[i*size : (i+1)*size : (i+1)*size]
 	}
-	if len(present) < c.k {
-		return nil, fmt.Errorf("%w: have %d of %d required shards", ErrShortData, len(present), c.k)
+	if err := c.DecodeInto(shards, out); err != nil {
+		return nil, err
 	}
-	if size <= 0 {
-		return nil, ErrShardSize
+	return out, nil
+}
+
+// DecodeInto decodes into caller-provided storage: out must hold k slices of
+// the shards' common length. Beyond the decode matrix on the non-systematic
+// path (built once per loss pattern, not per block), it allocates nothing.
+func (c *Code) DecodeInto(shards, out [][]byte) error {
+	size, err := c.scanShards(shards)
+	if err != nil {
+		return err
+	}
+	if len(out) != c.k {
+		return fmt.Errorf("%w: got %d output blocks, want %d", ErrShardCount, len(out), c.k)
+	}
+	for _, o := range out {
+		if len(o) != size {
+			return ErrShardSize
+		}
 	}
 
 	// Fast path: all k systematic shards survived.
@@ -132,41 +169,60 @@ func (c *Code) Decode(shards [][]byte) ([][]byte, error) {
 		}
 	}
 	if systematic {
-		out := make([][]byte, c.k)
 		for i := 0; i < c.k; i++ {
-			out[i] = append([]byte(nil), shards[i]...)
+			copy(out[i], shards[i])
 		}
-		return out, nil
+		return nil
 	}
 
+	present := make([]int, 0, c.k)
+	for i, s := range shards {
+		if s != nil && len(present) < c.k {
+			present = append(present, i)
+		}
+	}
 	sub := c.gen.SelectRows(present)
 	inv, err := sub.Invert()
 	if err != nil {
 		// Unreachable for a Cauchy-based generator; guard anyway.
-		return nil, fmt.Errorf("rs: decode matrix inversion failed: %w", err)
+		return fmt.Errorf("rs: decode matrix inversion failed: %w", err)
 	}
-	out := make([][]byte, c.k)
 	for r := 0; r < c.k; r++ {
-		block := make([]byte, size)
+		block := out[r]
+		clear(block)
 		row := inv.Row(r)
 		for j, idx := range present {
 			gf256.MulSlice(row[j], shards[idx], block)
 		}
-		out[r] = block
 	}
-	return out, nil
+	return nil
 }
 
-// EncodeInto is like Encode but writes parity into caller-provided storage to
-// avoid allocation in hot simulation loops. out must have length n; the first
-// k entries are overwritten with references to copies of data.
-func (c *Code) EncodeInto(data [][]byte, out [][]byte) error {
-	enc, err := c.Encode(data)
-	if err != nil {
-		return err
+// scanShards validates a decode input and returns the common shard length.
+func (c *Code) scanShards(shards [][]byte) (int, error) {
+	if len(shards) != c.n {
+		return 0, fmt.Errorf("%w: got %d shards, want %d", ErrShardCount, len(shards), c.n)
 	}
-	copy(out, enc)
-	return nil
+	size := -1
+	have := 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, ErrShardSize
+		}
+		have++
+	}
+	if have < c.k {
+		return 0, fmt.Errorf("%w: have %d of %d required shards", ErrShortData, have, c.k)
+	}
+	if size <= 0 {
+		return 0, ErrShardSize
+	}
+	return size, nil
 }
 
 func checkSizes(blocks [][]byte) (int, error) {

@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file implements the alloc-hotpath pass. The ROADMAP's scale goals
+// (100k–1M nodes, crypto/codec paths "as fast as the hardware allows") die
+// by a thousand small heap allocations: a make per RS shard, an interface
+// box per trace call, a closure per delivery. This pass walks every function
+// statically reachable from the declared hot roots (Config.HotRoots, plus
+// any function carrying a //lrlint:hotpath marker) and flags the allocation
+// shapes that go/types can prove without a full escape analysis:
+//
+//   - alloc-in-loop: make/new, &composite, slice/map composite literals, and
+//     string<->[]byte conversions inside a natural loop of a hot function
+//     allocate once per iteration.
+//
+//   - append-growth: append in a hot loop whose base slice has no visible
+//     3-arg make in the same function grows by repeated reallocation.
+//
+//   - closure-in-loop / defer-in-loop: function literals and defer records
+//     are heap-allocated per iteration.
+//
+//   - variadic-in-loop: calling a variadic function without an existing
+//     slice (no ... spread) materializes the argument slice per call.
+//
+//   - interface boxing: passing a concrete non-pointer-shaped value (basic,
+//     struct, array, slice) to an interface parameter boxes it — flagged
+//     anywhere in a hot function, loops or not, because hot functions are
+//     themselves called per packet or per symbol.
+//
+// Loop membership comes from the SSA-lite CFG (cfg.go) and its natural-loop
+// analysis (dom.go); a range expression evaluates in the loop pre-header and
+// is deliberately NOT treated as per-iteration. Cold subtrees are excluded:
+// panic arguments and calls into fmt/errors (failure formatting runs once,
+// on the way out).
+//
+// Findings are reported only for functions in Config.HotPathPackages or
+// functions carrying the marker themselves; reachability still traverses
+// shared helpers elsewhere, but those trees are policed by their own
+// packages' rules, not this gate.
+func checkAllocHot(idx *modIndex) []Diagnostic {
+	var diags []Diagnostic
+	for _, fi := range idx.order {
+		if !fi.hot || !idx.reportable(fi) {
+			continue
+		}
+		a := &hotAnalysis{idx: idx, fi: fi}
+		a.analyzeBody(fi.decl.Body)
+		diags = append(diags, a.diags...)
+	}
+	return diags
+}
+
+type hotAnalysis struct {
+	idx   *modIndex
+	fi    *funcInfo
+	diags []Diagnostic
+}
+
+func (a *hotAnalysis) report(n ast.Node, format string, args ...any) {
+	args = append(args, a.fi.qname, a.fi.hotVia)
+	a.diags = append(a.diags, Diagnostic{
+		Pos:  a.fi.pkg.Fset.Position(n.Pos()),
+		Rule: RuleAllocHot,
+		Msg:  fmt.Sprintf(format+" in hot function %s (reachable from %s)", args...),
+	})
+}
+
+// analyzeBody builds the CFG of one function (or function-literal) body and
+// scans each block. Nested literals are analyzed recursively with their own
+// CFGs, attributed to the same hot function.
+func (a *hotAnalysis) analyzeBody(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	dom := analyzeDom(g)
+	prealloc := preallocatedVars(a.fi.pkg, body)
+	for _, blk := range g.blocks {
+		inLoop := dom.inLoop[blk.index]
+		for _, node := range blk.nodes {
+			if ds, ok := node.(*ast.DeferStmt); ok && inLoop {
+				a.report(ds, "defer allocates a record per loop iteration")
+			}
+			for _, part := range scanParts(node) {
+				a.scanExpr(part, inLoop, prealloc)
+			}
+		}
+	}
+}
+
+// scanExpr walks one block-local part, applying the loop-gated and
+// everywhere checks. Cold subtrees (panic, fmt, errors) are skipped whole;
+// function literals are collected for separate analysis.
+func (a *hotAnalysis) scanExpr(root ast.Node, inLoop bool, prealloc map[types.Object]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inLoop {
+				a.report(n, "function literal allocated per loop iteration; hoist it out of the loop")
+			}
+			a.analyzeBody(n.Body)
+			return false
+		case *ast.CompositeLit:
+			if inLoop && allocatingComposite(a.fi.pkg, n) {
+				a.report(n, "composite literal allocates per loop iteration; hoist or reuse a buffer")
+			}
+		case *ast.UnaryExpr:
+			if inLoop && n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					a.report(n, "&composite allocates per loop iteration; hoist or reuse a buffer")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			return a.scanCall(n, inLoop, prealloc)
+		}
+		return true
+	})
+}
+
+// scanCall applies the call-shaped checks and reports whether the walk
+// should descend into the call's subtree.
+func (a *hotAnalysis) scanCall(call *ast.CallExpr, inLoop bool, prealloc map[types.Object]bool) bool {
+	pkg := a.fi.pkg
+	// Type conversions: only string<->byte/rune-slice conversions allocate.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if inLoop && len(call.Args) == 1 && allocatingConversion(tv.Type, pkg.Info.TypeOf(call.Args[0])) {
+			a.report(call, "string/[]byte conversion copies per loop iteration")
+		}
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "panic":
+				return false // cold path: the goroutine is unwinding
+			case "make", "new":
+				if inLoop {
+					a.report(call, "%s allocates per loop iteration; hoist or reuse a buffer", id.Name)
+				}
+			case "append":
+				if inLoop && !a.appendPreallocated(call, prealloc) {
+					a.report(call, "append grows an unpreallocated slice per loop iteration; make it with capacity before the loop")
+				}
+			}
+			return true
+		}
+	}
+	if callee := calleeOf(pkg, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "errors":
+			return false // failure formatting is cold
+		}
+	}
+	sig, _ := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return true
+	}
+	if inLoop && sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		a.report(call, "variadic call materializes its argument slice per loop iteration; pass an existing slice with ... or use a fixed-arity variant")
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if pi >= sig.Params().Len() {
+			if !sig.Variadic() {
+				break
+			}
+			pi = sig.Params().Len() - 1
+		}
+		pt := sig.Params().At(pi).Type()
+		if sig.Variadic() && pi == sig.Params().Len()-1 && !call.Ellipsis.IsValid() {
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if isInterfaceType(pt) && boxes(pkg.Info.TypeOf(arg)) {
+			a.report(arg, "passing a concrete value to interface parameter boxes it on the heap")
+		}
+	}
+	return true
+}
+
+// appendPreallocated accepts append calls whose base is a plain variable
+// with a visible 3-arg make (explicit capacity) in the same function body.
+func (a *hotAnalysis) appendPreallocated(call *ast.CallExpr, prealloc map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := a.fi.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = a.fi.pkg.Info.Defs[id]
+	}
+	return obj != nil && prealloc[obj]
+}
+
+// preallocatedVars collects the variables assigned a 3-arg make (or a
+// full-slice expression, which pins capacity the same way) anywhere in the
+// body.
+func preallocatedVars(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		capped := false
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if f, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && f.Name == "make" && len(r.Args) == 3 {
+				if _, isBuiltin := pkg.Info.Uses[f].(*types.Builtin); isBuiltin {
+					capped = true
+				}
+			}
+		case *ast.SliceExpr:
+			capped = r.Slice3
+		}
+		if !capped {
+			return
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allocatingComposite reports whether the composite literal heap-allocates:
+// slice and map literals do; struct and array value literals live on the
+// stack (taking their address is the &composite case).
+func allocatingComposite(pkg *Package, lit *ast.CompositeLit) bool {
+	t := pkg.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// allocatingConversion reports whether a conversion from 'from' to 'to'
+// copies its data: string <-> []byte / []rune in either direction.
+func allocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+		switch b.Kind() {
+		case types.Uint8, types.Int32: // byte and rune respectively
+			return true
+		}
+		return false
+	}
+	return (isStr(to) && isByteish(from)) || (isByteish(to) && isStr(from))
+}
+
+// isInterfaceType reports whether t's underlying type is a non-empty or
+// empty interface.
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether passing a value of type t to an interface parameter
+// stores it on the heap: basic values, structs, arrays, slices and strings
+// do; pointers, maps, channels, funcs and existing interfaces are
+// pointer-shaped and do not.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// scanParts returns the pieces of a recorded CFG node that execute in its
+// block: compound statements contribute only their header expressions,
+// because their bodies live in other blocks.
+func scanParts(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{n.Cond}
+	case *ast.SwitchStmt:
+		if n.Tag != nil {
+			return []ast.Node{n.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{n.Assign}
+	case *ast.RangeStmt:
+		return []ast.Node{n.X}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{n}
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support: a committed snapshot of accepted findings, so CI fails
+// only on DRIFT. A lint gate that requires zero findings forever forces every
+// rule rollout to fix the whole backlog atomically; a baseline lets a new
+// pass land with its existing debt recorded, while any NEW finding — or a
+// regression of a fixed one — still fails the build.
+//
+// Entries are line-insensitive on purpose: a baseline keyed by line numbers
+// churns on every unrelated edit above the finding. The key is
+// (file, rule, msg), counted as a multiset — if a file has two accepted
+// append-growth findings and an edit adds a third with the same message, the
+// count rises and the gate fails.
+
+// baselineVersion is the schema version of the baseline artifact.
+const baselineVersion = 1
+
+// BaselineFinding is one accepted finding, without position detail beyond
+// the file.
+type BaselineFinding struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Baseline is the committed artifact.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// NewBaseline snapshots the given findings, sorted for a stable artifact.
+func NewBaseline(diags []Diagnostic) Baseline {
+	b := Baseline{Version: baselineVersion, Findings: make([]BaselineFinding, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineFinding{File: d.Pos.Filename, Rule: d.Rule, Msg: d.Msg})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// WriteFile writes the baseline as indented JSON with a trailing newline.
+func (b Baseline) WriteFile(path string) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadBaseline reads and validates a baseline artifact.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return b, fmt.Errorf("baseline %s: version %d, this lrlint reads version %d", path, b.Version, baselineVersion)
+	}
+	return b, nil
+}
+
+// Subtract returns the findings NOT covered by the baseline, multiset-style:
+// each baseline entry absorbs one finding with the same (file, rule, msg).
+// Findings beyond the baselined count — and findings the baseline has never
+// seen — survive and fail the gate.
+func (b Baseline) Subtract(diags []Diagnostic) []Diagnostic {
+	budget := make(map[BaselineFinding]int, len(b.Findings))
+	for _, f := range b.Findings {
+		budget[f]++
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := BaselineFinding{File: d.Pos.Filename, Rule: d.Rule, Msg: d.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

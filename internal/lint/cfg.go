@@ -1,0 +1,354 @@
+package lint
+
+// This file builds the control-flow graphs the SSA-lite passes
+// (lock-discipline, alloc-hotpath) analyze. golang.org/x/tools/go/ssa is
+// deliberately not used — the repo's lint suite is stdlib-only — so this is a
+// from-scratch statement-level CFG: basic blocks of ast.Stmt nodes connected
+// by the edges if/for/range/switch/select/break/continue/return induce.
+// It is not full SSA (no value numbering, no phi nodes); what the passes
+// need is the *flow* structure — dominance, must-hold lock sets, and
+// natural-loop membership — and a statement-level CFG carries exactly that.
+//
+// Simplifications, all conservative for the passes built on top:
+//
+//   - goto is treated as an opaque jump to the function exit (the module has
+//     no goto in analyzed code; a goto-heavy function simply loses precision,
+//     it never gains false "proven" facts for the must-analyses).
+//   - panic calls do not terminate blocks; a lock "held" across a panic is
+//     moot because the goroutine unwinds.
+//   - Nested function literals are NOT inlined into the enclosing graph;
+//     passes analyze them separately with their own CFG.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: a maximal run of statements with a single
+// entry and the successor edges control flow can take afterwards.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node // statements in execution order
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // every return/fallthrough-off-the-end edge lands here
+	blocks []*cfgBlock
+
+	// stmtBlock maps every recorded statement to its containing block.
+	stmtBlock map[ast.Node]*cfgBlock
+}
+
+// cfgBuilder incrementally grows the graph. cur is the block under
+// construction; a nil cur means the current position is unreachable (after a
+// return or branch) and statements land in a fresh detached block.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+
+	// branch targets form a stack; label is empty for plain loops/switches.
+	breaks    []branchTarget
+	continues []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{stmtBlock: make(map[ast.Node]*cfgBlock)}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// startBlock begins a new block with an edge from cur (when reachable) and
+// makes it current.
+func (b *cfgBuilder) startBlock() *cfgBlock {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// record appends a statement to the current block, materializing a detached
+// block for unreachable code so every statement still has a home.
+func (b *cfgBuilder) record(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+	b.g.stmtBlock[n] = b.cur
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the name of an immediately
+// enclosing LabeledStmt, consumed by loops and switches for labeled
+// break/continue.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.record(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.record(s)
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, name); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, name); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.g.exit) // opaque jump; see file comment
+		}
+		// FALLTHROUGH is wired by the switch builder.
+		if s.Tok != token.FALLTHROUGH {
+			b.cur = nil
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.record(s.Init)
+		}
+		b.record(s) // the condition evaluates in the block holding the If
+		condBlk := b.cur
+		b.startBlock()
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *cfgBlock
+		if s.Else != nil {
+			b.cur = condBlk
+			b.startBlock()
+			b.stmt(s.Else, "")
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if s.Else != nil {
+			if elseEnd != nil {
+				b.edge(elseEnd, join)
+			}
+		} else if condBlk != nil {
+			b.edge(condBlk, join) // condition false skips the body
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.record(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.g.stmtBlock[s.Cond] = head
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		b.pushLoop(label, after, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+			b.g.stmtBlock[s.Post] = post
+		}
+		b.edge(post, head) // back edge
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// The range expression evaluates once, in the pre-header; the empty
+		// head block carries the per-iteration dispatch so allocations in X
+		// are not misattributed to the loop body.
+		b.record(s)
+		head := b.startBlock()
+		after := b.newBlock()
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head) // back edge
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.buildSwitch(s.Init, s, caseBodies(s.Body), label)
+
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s.Init, s, caseBodies(s.Body), label)
+
+	case *ast.SelectStmt:
+		b.record(s)
+		dispatch := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+		hasDefault := false
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			if comm.Comm == nil {
+				hasDefault = true
+			}
+			b.cur = dispatch
+			b.startBlock()
+			if comm.Comm != nil {
+				b.record(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 || (!hasDefault && false) {
+			// An empty select blocks forever; keep after reachable only via
+			// the (absent) clauses. Edge anyway so the graph stays connected.
+			b.edge(dispatch, after)
+		}
+		b.cur = after
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Defer, Empty: straight-line.
+		b.record(s)
+	}
+}
+
+// buildSwitch wires a (type) switch: every case body branches from the
+// dispatch block to the join; fallthrough chains into the next case body.
+func (b *cfgBuilder) buildSwitch(init ast.Stmt, sw ast.Stmt, cases []*caseBody, label string) {
+	if init != nil {
+		b.record(init)
+	}
+	b.record(sw) // tag / assign evaluate in the dispatch block
+	dispatch := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label: label, block: after})
+
+	bodies := make([]*cfgBlock, len(cases))
+	for i := range cases {
+		bodies[i] = b.newBlock()
+		if dispatch != nil {
+			b.edge(dispatch, bodies[i])
+		}
+	}
+	hasDefault := false
+	for i, c := range cases {
+		if c.isDefault {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		b.stmtList(c.stmts)
+		if b.cur != nil {
+			if c.fallsThrough && i+1 < len(cases) {
+				b.edge(b.cur, bodies[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	if !hasDefault && dispatch != nil {
+		b.edge(dispatch, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+type caseBody struct {
+	stmts        []ast.Stmt
+	isDefault    bool
+	fallsThrough bool
+}
+
+func caseBodies(body *ast.BlockStmt) []*caseBody {
+	var out []*caseBody
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		cb := &caseBody{stmts: cc.Body, isDefault: cc.List == nil}
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				cb.fallsThrough = true
+			}
+		}
+		out = append(out, cb)
+	}
+	return out
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue to the innermost matching target.
+func findTarget(stack []branchTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkDiag(file, rule, msg string, line int) Diagnostic {
+	d := Diagnostic{Rule: rule, Msg: msg}
+	d.Pos.Filename = file
+	d.Pos.Line = line
+	d.Pos.Column = 3
+	return d
+}
+
+// TestBaselineRoundTrip pins the artifact semantics: a snapshot absorbs
+// exactly the findings it recorded, stays valid when lines move, and is
+// count-aware for duplicate messages.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		mkDiag("a.go", RuleAllocHot, "make in loop", 10),
+		mkDiag("a.go", RuleAllocHot, "make in loop", 42),
+		mkDiag("b.go", RuleMapRange, "map order leak", 7),
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := NewBaseline(diags).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Subtract(diags); len(got) != 0 {
+		t.Fatalf("baseline did not absorb its own findings: %v", got)
+	}
+
+	// Line movement must not invalidate the baseline.
+	moved := []Diagnostic{
+		mkDiag("a.go", RuleAllocHot, "make in loop", 99),
+		mkDiag("a.go", RuleAllocHot, "make in loop", 150),
+		mkDiag("b.go", RuleMapRange, "map order leak", 1),
+	}
+	if got := base.Subtract(moved); len(got) != 0 {
+		t.Fatalf("line movement invalidated the baseline: %v", got)
+	}
+
+	// A third copy of a twice-baselined finding is drift.
+	extra := append(moved, mkDiag("a.go", RuleAllocHot, "make in loop", 200))
+	got := base.Subtract(extra)
+	if len(got) != 1 {
+		t.Fatalf("count-aware subtract failed: got %d survivors, want 1", len(got))
+	}
+
+	// A finding the baseline never saw is drift.
+	fresh := base.Subtract([]Diagnostic{mkDiag("c.go", RuleRNGProv, "untraceable stream", 5)})
+	if len(fresh) != 1 {
+		t.Fatalf("unknown finding was absorbed: got %d survivors, want 1", len(fresh))
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("future-version baseline loaded without error")
+	}
+}
+
+// TestSARIFStructure unmarshals the emitted log generically and asserts the
+// shapes the SARIF 2.1.0 schema requires: $schema, version, one run with a
+// named driver carrying the full rule catalog, and per-result physical
+// locations.
+func TestSARIFStructure(t *testing.T) {
+	diags := []Diagnostic{
+		mkDiag("internal/erasure/rs/rs.go", RuleAllocHot, "make in loop", 84),
+		mkDiag("internal/harness/harness.go", RuleLockDiscipline, "unguarded write", 120),
+	}
+	out, err := ToSARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if got := log["$schema"]; got != "https://json.schemastore.org/sarif-2.1.0.json" {
+		t.Errorf("$schema = %v", got)
+	}
+	if got := log["version"]; got != "2.1.0" {
+		t.Errorf("version = %v", got)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "lrlint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(AllRules) {
+		t.Fatalf("driver carries %d rules, catalog has %d", len(rules), len(AllRules))
+	}
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		if rm["id"] != AllRules[i] {
+			t.Errorf("rule %d id = %v, want %s", i, rm["id"], AllRules[i])
+		}
+		desc := rm["shortDescription"].(map[string]any)
+		if desc["text"] == "" {
+			t.Errorf("rule %s has an empty shortDescription", AllRules[i])
+		}
+	}
+	results := run["results"].([]any)
+	if len(results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(results), len(diags))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != RuleAllocHot {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	if first["level"] != "error" {
+		t.Errorf("level = %v", first["level"])
+	}
+	if msg := first["message"].(map[string]any); msg["text"] != "make in loop" {
+		t.Errorf("message.text = %v", msg["text"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)
+	phys := loc["physicalLocation"].(map[string]any)
+	if uri := phys["artifactLocation"].(map[string]any)["uri"]; uri != "internal/erasure/rs/rs.go" {
+		t.Errorf("artifact uri = %v", uri)
+	}
+	region := phys["region"].(map[string]any)
+	if region["startLine"].(float64) != 84 || region["startColumn"].(float64) != 3 {
+		t.Errorf("region = %v", region)
+	}
+}
+
+// TestSARIFRuleSummariesComplete keeps the catalog and the SARIF summaries
+// in lockstep: adding a rule without a summary is a test failure, not a
+// silently blank row in the scanning UI.
+func TestSARIFRuleSummariesComplete(t *testing.T) {
+	for _, r := range AllRules {
+		if ruleSummaries[r] == "" {
+			t.Errorf("rule %s has no SARIF summary", r)
+		}
+	}
+	for r := range ruleSummaries {
+		if !KnownRule(r) {
+			t.Errorf("summary for unknown rule %s", r)
+		}
+	}
+}

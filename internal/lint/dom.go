@@ -1,0 +1,158 @@
+package lint
+
+// Dominance and natural-loop analysis over funcCFG. The alloc-hotpath pass
+// asks "is this statement executed once per loop iteration?" (natural-loop
+// membership) and the lock-discipline pass asks "is every path to this write
+// through a Lock?" (a forward must-analysis whose correctness rests on the
+// same reducible-flow structure). Both are classic iterative dataflow over
+// the block graph; the CFGs here are tiny (one function body), so the simple
+// O(blocks^2) fixpoint is far below measurement noise in the self-bench.
+
+import "go/ast"
+
+// domInfo holds the immediate-dominator tree and loop membership for one CFG.
+type domInfo struct {
+	g *funcCFG
+
+	// idom[i] is the immediate dominator of block i; entry's idom is itself.
+	// Blocks unreachable from entry have idom -1 and belong to no loop.
+	idom []int
+
+	// inLoop[i] reports that block i is inside at least one natural loop.
+	inLoop []bool
+}
+
+// analyzeDom computes dominators (iterative algorithm over a reverse
+// post-order) and marks the blocks of every natural loop.
+func analyzeDom(g *funcCFG) *domInfo {
+	n := len(g.blocks)
+	d := &domInfo{g: g, idom: make([]int, n), inLoop: make([]bool, n)}
+	for i := range d.idom {
+		d.idom[i] = -1
+	}
+
+	rpo, rpoNum := reversePostorder(g)
+	d.idom[g.entry.index] = g.entry.index
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.preds {
+				if d.idom[p.index] == -1 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p.index
+				} else {
+					newIdom = d.intersect(newIdom, p.index, rpoNum)
+				}
+			}
+			if newIdom != -1 && d.idom[b.index] != newIdom {
+				d.idom[b.index] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Natural loops: for every back edge n->h (h dominates n), the loop body
+	// is h plus everything that reaches n without passing through h.
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if d.dominates(s.index, b.index) {
+				d.markLoop(s, b)
+			}
+		}
+	}
+	return d
+}
+
+// intersect walks the two dominator-tree paths up to their common ancestor,
+// comparing by reverse-post-order number.
+func (d *domInfo) intersect(a, b int, rpoNum []int) int {
+	for a != b {
+		for rpoNum[a] > rpoNum[b] {
+			a = d.idom[a]
+		}
+		for rpoNum[b] > rpoNum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// dominates reports whether block a dominates block b (reflexive).
+func (d *domInfo) dominates(a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		next := d.idom[b]
+		if next == -1 || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// markLoop marks the natural loop of back edge tail->head: reverse-flow DFS
+// from tail, stopping at head.
+func (d *domInfo) markLoop(head, tail *cfgBlock) {
+	d.inLoop[head.index] = true
+	if head == tail {
+		return
+	}
+	stack := []*cfgBlock{tail}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.inLoop[b.index] {
+			continue
+		}
+		d.inLoop[b.index] = true
+		for _, p := range b.preds {
+			if !d.inLoop[p.index] {
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// stmtInLoop reports whether the given recorded statement sits inside a
+// natural loop of the function.
+func (d *domInfo) stmtInLoop(n ast.Node) bool {
+	b, ok := d.g.stmtBlock[n]
+	if !ok {
+		return false
+	}
+	return d.inLoop[b.index]
+}
+
+// reversePostorder returns the blocks reachable from entry in reverse
+// post-order plus each block's RPO number (unreachable blocks get number 0 —
+// they are skipped by the dominator fixpoint via idom == -1).
+func reversePostorder(g *funcCFG) ([]*cfgBlock, []int) {
+	seen := make([]bool, len(g.blocks))
+	var post []*cfgBlock
+	var dfs func(b *cfgBlock)
+	dfs = func(b *cfgBlock) {
+		seen[b.index] = true
+		for _, s := range b.succs {
+			if !seen[s.index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.entry)
+	rpo := make([]*cfgBlock, 0, len(post))
+	rpoNum := make([]int, len(g.blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpoNum[post[i].index] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+	return rpo, rpoNum
+}

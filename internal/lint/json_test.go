@@ -21,7 +21,7 @@ func TestReportGolden(t *testing.T) {
 		},
 		{
 			Pos:  token.Position{Filename: "internal/harness/harness.go", Line: 7, Column: 9},
-			Rule: RuleConcurrency,
+			Rule: RuleLockDiscipline,
 			Msg:  "second example",
 		},
 	}

@@ -1,9 +1,12 @@
 // Package lint implements lrlint, a from-scratch static-analysis suite that
-// machine-checks the determinism and safety invariants the simulator's
-// reproducibility claims rest on. It is built only on the standard library
-// (go/ast, go/parser, go/token, go/types) per the repo's stdlib-only rule.
+// machine-checks the determinism, safety and hot-path performance invariants
+// the simulator's claims rest on. It is built only on the standard library
+// (go/ast, go/parser, go/token, go/types) per the repo's stdlib-only rule;
+// the flow-sensitive passes run over an in-tree SSA-lite IR (statement-level
+// CFGs with dominance and natural-loop analysis, see cfg.go / dom.go) plus a
+// module-wide call/field/implements index (modindex.go).
 //
-// Eight analyzer passes run over every non-test file of the module:
+// Eleven analyzer passes run over every non-test file of the module:
 //
 //   - no-wallclock: internal/ packages must never consult the wall clock
 //     (time.Now, time.Sleep, time.After, time.Tick, timers). Protocol code
@@ -33,10 +36,12 @@
 //     before it is stored in node state or fed to an internal/erasure
 //     decoder. Intra-procedural dataflow over go/types; see taint.go.
 //
-//   - harness-concurrency: in internal/harness and internal/experiment,
-//     goroutines must not write captured shared variables unless
-//     mutex-guarded; results flow over channels to the ordered-merge
-//     goroutine. See concurrency.go.
+//   - lock-discipline: in internal/harness and internal/experiment, every
+//     goroutine write to captured shared state must be dominated by the
+//     acquire of the owning mutex — a CFG-level must-held lockset analysis
+//     replacing the earlier syntactic captured-write scan. Results still
+//     flow over channels to the ordered-merge goroutine. See
+//     lockdiscipline.go.
 //
 //   - rng-stream-discipline: *rand.Rand / rand.Source values must not live
 //     in package-level variables, leak through exported fields or results,
@@ -49,6 +54,24 @@
 //     no-wallclock scope would still tie trace bytes to the host. See
 //     tracetime.go.
 //
+//   - alloc-hotpath: functions reachable from the declared hot roots (GF(256)
+//     multiply-accumulate, RS encode/decode, packet marshal/unmarshal, radio
+//     delivery, crypt verification) or carrying a //lrlint:hotpath marker
+//     must not allocate per loop iteration, grow unpreallocated appends in
+//     loops, box concrete values into interface parameters, build closures or
+//     defers per iteration, or call variadic functions inside loops. See
+//     allochot.go.
+//
+//   - rng-provenance: every *rand.Rand consumed in sim code must provably
+//     originate from a seeded rand.New construction, traced cross-package
+//     through locals, struct fields, parameters and interface dispatch —
+//     closing the intra-package gap left by rng-stream-discipline. See
+//     provenance.go.
+//
+//   - unused-ignore: an //lrlint:ignore directive that suppresses no finding
+//     of an enabled rule is itself a finding (opt-in via Config.UnusedIgnores;
+//     on in check.sh), so justifications cannot outlive the code they excuse.
+//
 // A finding may be suppressed with a directive on the same line, on the line
 // immediately above, or on the line immediately above the statement the
 // finding sits in (so a directive above a multi-line statement covers the
@@ -56,7 +79,13 @@
 //
 //	//lrlint:ignore <rule> <reason>
 //
-// The reason is mandatory; a directive without one is itself a finding.
+// The rule must name a catalog entry and the reason is mandatory; a directive
+// missing either is itself a finding. A second directive form,
+//
+//	//lrlint:hotpath [reason]
+//
+// attached to a function declaration marks that function an alloc-hotpath
+// root in addition to the configured ones.
 package lint
 
 import (
@@ -83,15 +112,18 @@ func (d Diagnostic) String() string {
 
 // Rule names, used in output and in //lrlint:ignore directives.
 const (
-	RuleWallclock   = "no-wallclock"
-	RuleGlobalRand  = "no-global-rand"
-	RuleMapRange    = "map-range"
-	RuleErrcheck    = "unchecked-error"
-	RuleTaint       = "verify-before-use"
-	RuleConcurrency = "harness-concurrency"
-	RuleRNG         = "rng-stream-discipline"
-	RuleTraceTime   = "trace-sim-time"
-	RuleDirective   = "directive"
+	RuleWallclock      = "no-wallclock"
+	RuleGlobalRand     = "no-global-rand"
+	RuleMapRange       = "map-range"
+	RuleErrcheck       = "unchecked-error"
+	RuleTaint          = "verify-before-use"
+	RuleLockDiscipline = "lock-discipline"
+	RuleRNG            = "rng-stream-discipline"
+	RuleTraceTime      = "trace-sim-time"
+	RuleAllocHot       = "alloc-hotpath"
+	RuleRNGProv        = "rng-provenance"
+	RuleUnusedIgnore   = "unused-ignore"
+	RuleDirective      = "directive"
 )
 
 // AllRules lists every rule name in catalog order.
@@ -101,10 +133,23 @@ var AllRules = []string{
 	RuleMapRange,
 	RuleErrcheck,
 	RuleTaint,
-	RuleConcurrency,
+	RuleLockDiscipline,
 	RuleRNG,
 	RuleTraceTime,
+	RuleAllocHot,
+	RuleRNGProv,
+	RuleUnusedIgnore,
 	RuleDirective,
+}
+
+// KnownRule reports whether name is in the rule catalog.
+func KnownRule(name string) bool {
+	for _, r := range AllRules {
+		if r == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Config scopes the passes to package trees. Paths are module-relative
@@ -125,15 +170,28 @@ type Config struct {
 	// applies there.
 	TaintPackages []string
 	// ConcurrencyPackages lists the packages with real goroutine concurrency;
-	// harness-concurrency applies there.
+	// lock-discipline applies there.
 	ConcurrencyPackages []string
 	// TracePackages lists the packages defining trace records and recording
 	// APIs; trace-sim-time applies there: event structs and recording
 	// signatures must carry sim.Time, never wall-clock time.Time.
 	TracePackages []string
+	// HotPathPackages lists the package trees whose hot-reachable functions
+	// alloc-hotpath reports on. Functions outside these trees are still
+	// traversed for reachability but only report when they carry a
+	// //lrlint:hotpath marker themselves.
+	HotPathPackages []string
+	// HotRoots names the hot-path entry points as module-relative qualified
+	// names: "pkg/path.Func" or "pkg/path.Recv.Method" (pointer receivers
+	// written without the star). Everything statically reachable from a root
+	// is hot.
+	HotRoots []string
 	// Rules, when non-empty, restricts the run to the named rules (the
 	// directive pass always runs, so malformed directives never go dark).
 	Rules []string
+	// UnusedIgnores enables the unused-ignore pass: directives naming an
+	// enabled rule that suppress no finding become findings themselves.
+	UnusedIgnores bool
 	// TrimPrefix, when non-empty, is stripped from diagnostic file names so
 	// output and golden files are stable across checkouts.
 	TrimPrefix string
@@ -153,11 +211,12 @@ func (c Config) ruleEnabled(rule string) bool {
 }
 
 // DefaultConfig returns the repo's production scoping: the packages that
-// schedule events, emit packets or merge experiment records, and the
-// crypto/erasure trees.
+// schedule events, emit packets or merge experiment records, the
+// crypto/erasure trees, and the hot-path roots of the per-packet pipeline.
 func DefaultConfig(modulePath string) Config {
 	return Config{
-		ModulePath: modulePath,
+		ModulePath:    modulePath,
+		UnusedIgnores: true,
 		OrderedPackages: []string{
 			"internal/sim",
 			"internal/core",
@@ -188,6 +247,29 @@ func DefaultConfig(modulePath string) Config {
 		TracePackages: []string{
 			"internal/trace",
 		},
+		HotPathPackages: []string{
+			"internal/erasure",
+			"internal/packet",
+			"internal/crypt",
+			"internal/radio",
+		},
+		HotRoots: []string{
+			"internal/erasure/gf256.MulSlice",
+			"internal/erasure/rs.Code.Encode",
+			"internal/erasure/rs.Code.EncodeInto",
+			"internal/erasure/rs.Code.Decode",
+			"internal/erasure/rs.Code.DecodeInto",
+			"internal/packet.Adv.Marshal",
+			"internal/packet.SNACK.Marshal",
+			"internal/packet.Data.Marshal",
+			"internal/packet.Sig.Marshal",
+			"internal/packet.Unmarshal",
+			"internal/radio.Network.deliver",
+			"internal/crypt/sign.PublicKey.Verify",
+			"internal/crypt/puzzle.Verify",
+			"internal/crypt/puzzle.VerifyKey",
+			"internal/crypt/merkle.Verify",
+		},
 	}
 }
 
@@ -210,25 +292,71 @@ func isInternal(pkgPath string) bool {
 
 // Run applies every pass to every package and returns the surviving
 // findings sorted by position. Directive-suppressed findings are removed;
-// malformed directives are reported. Packages are analyzed concurrently —
-// each pass only reads its own package's immutable AST and type info — and
-// the final position sort makes the output order deterministic regardless of
-// scheduling.
+// malformed directives are reported; with Config.UnusedIgnores, so are
+// directives that suppressed nothing. Per-package passes run concurrently —
+// each only reads its own package's immutable AST and type info — then the
+// module-level passes (alloc-hotpath, rng-provenance) run over a shared
+// module index, and the final position sort makes the output order
+// deterministic regardless of scheduling.
 func Run(pkgs []*Package, cfg Config) []Diagnostic {
-	perPkg := make([][]Diagnostic, len(pkgs))
+	type pkgResult struct {
+		dirs    directiveIndex
+		markers map[*ast.FuncDecl]bool
+		raw     []Diagnostic // pre-suppression findings
+		bad     []Diagnostic // malformed directives; never suppressible
+	}
+	results := make([]pkgResult, len(pkgs))
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
 		wg.Add(1)
 		go func(i int, pkg *Package) {
 			defer wg.Done()
-			perPkg[i] = runPackage(pkg, cfg)
+			r := &results[i]
+			r.dirs, r.bad = collectDirectives(pkg)
+			var badMarkers []Diagnostic
+			r.markers, badMarkers = collectHotMarkers(pkg)
+			r.bad = append(r.bad, badMarkers...)
+			r.raw = runPackage(pkg, cfg)
 		}(i, pkg)
 	}
 	wg.Wait()
-	var diags []Diagnostic
-	for _, d := range perPkg {
-		diags = append(diags, d...)
+
+	// Merge the per-package directive indexes; file names are absolute and
+	// unique per package, so this is a disjoint union.
+	merged := make(directiveIndex)
+	markers := make(map[*ast.FuncDecl]bool)
+	var raw, bad []Diagnostic
+	for _, r := range results {
+		for file, lines := range r.dirs {
+			merged[file] = lines
+		}
+		for d := range r.markers {
+			markers[d] = true
+		}
+		raw = append(raw, r.raw...)
+		bad = append(bad, r.bad...)
 	}
+
+	if cfg.ruleEnabled(RuleAllocHot) || cfg.ruleEnabled(RuleRNGProv) {
+		idx := buildModIndex(pkgs, cfg, markers)
+		if cfg.ruleEnabled(RuleAllocHot) {
+			raw = append(raw, checkAllocHot(idx)...)
+		}
+		if cfg.ruleEnabled(RuleRNGProv) {
+			raw = append(raw, checkProvenance(idx)...)
+		}
+	}
+
+	diags := bad
+	for _, d := range raw {
+		if !merged.suppresses(d) {
+			diags = append(diags, d)
+		}
+	}
+	if cfg.UnusedIgnores && cfg.ruleEnabled(RuleUnusedIgnore) {
+		diags = append(diags, unusedIgnoreFindings(merged, cfg)...)
+	}
+
 	for i := range diags {
 		if cfg.TrimPrefix != "" {
 			if rel, err := filepath.Rel(cfg.TrimPrefix, diags[i].Pos.Filename); err == nil {
@@ -252,10 +380,9 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	return diags
 }
 
-// runPackage applies the scoped, rule-filtered passes to one package and
-// returns its surviving findings (unsorted, untrimmed).
+// runPackage applies the scoped, rule-filtered per-package passes and
+// returns raw findings (unsuppressed, unsorted, untrimmed).
 func runPackage(pkg *Package, cfg Config) []Diagnostic {
-	dirs, bad := collectDirectives(pkg)
 	var raw []Diagnostic
 	if cfg.ruleEnabled(RuleWallclock) && isInternal(pkg.ImportPath) {
 		raw = append(raw, checkWallclock(pkg)...)
@@ -272,8 +399,8 @@ func runPackage(pkg *Package, cfg Config) []Diagnostic {
 	if cfg.ruleEnabled(RuleTaint) && cfg.inScope(pkg.ImportPath, cfg.TaintPackages) {
 		raw = append(raw, checkTaint(pkg, cfg)...)
 	}
-	if cfg.ruleEnabled(RuleConcurrency) && cfg.inScope(pkg.ImportPath, cfg.ConcurrencyPackages) {
-		raw = append(raw, checkConcurrency(pkg)...)
+	if cfg.ruleEnabled(RuleLockDiscipline) && cfg.inScope(pkg.ImportPath, cfg.ConcurrencyPackages) {
+		raw = append(raw, checkLockDiscipline(pkg)...)
 	}
 	if cfg.ruleEnabled(RuleRNG) {
 		raw = append(raw, checkRNG(pkg)...)
@@ -281,32 +408,32 @@ func runPackage(pkg *Package, cfg Config) []Diagnostic {
 	if cfg.ruleEnabled(RuleTraceTime) && cfg.inScope(pkg.ImportPath, cfg.TracePackages) {
 		raw = append(raw, checkTraceTime(pkg)...)
 	}
-	diags := bad
-	for _, d := range raw {
-		if !dirs.suppresses(d) {
-			diags = append(diags, d)
-		}
-	}
-	return diags
+	return raw
 }
 
-// directive is one parsed //lrlint:ignore comment.
+// directive is one parsed //lrlint:ignore comment. expandSpans copies the
+// record onto every line a covered multi-line statement spans; the copies
+// share the used flag so one suppression anywhere marks the directive live.
 type directive struct {
 	rule string
+	pos  token.Position // the comment's own position, for unused-ignore
+	used *bool
 }
 
 // directiveIndex maps file -> line -> directives in force on that line.
 type directiveIndex map[string]map[int][]directive
 
 // suppresses reports whether a directive for the finding's rule is in force
-// on the finding's line or the line immediately above it. Directives written
-// above a multi-line statement are propagated onto every line of that
-// statement by expandSpans, so they reach findings anywhere inside it.
+// on the finding's line or the line immediately above it, marking the
+// matching directive used. Directives written above a multi-line statement
+// are propagated onto every line of that statement by expandSpans, so they
+// reach findings anywhere inside it.
 func (idx directiveIndex) suppresses(d Diagnostic) bool {
 	lines := idx[d.Pos.Filename]
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, dir := range lines[ln] {
 			if dir.rule == d.Rule {
+				*dir.used = true
 				return true
 			}
 		}
@@ -314,10 +441,40 @@ func (idx directiveIndex) suppresses(d Diagnostic) bool {
 	return false
 }
 
-const directivePrefix = "//lrlint:ignore"
+// unusedIgnoreFindings reports every directive whose rule was enabled in
+// this run but which suppressed nothing. Directives for disabled rules are
+// skipped — a rule-filtered run must not declare the other rules'
+// justifications stale.
+func unusedIgnoreFindings(idx directiveIndex, cfg Config) []Diagnostic {
+	seen := make(map[token.Position]bool)
+	var out []Diagnostic
+	for _, lines := range idx {
+		for _, dirs := range lines {
+			for _, dir := range dirs {
+				if *dir.used || seen[dir.pos] || !cfg.ruleEnabled(dir.rule) {
+					continue
+				}
+				seen[dir.pos] = true
+				out = append(out, Diagnostic{
+					Pos:  dir.pos,
+					Rule: RuleUnusedIgnore,
+					Msg:  fmt.Sprintf("directive suppresses no %s finding; remove it or restore the justification it excused", dir.rule),
+				})
+			}
+		}
+	}
+	return out
+}
 
-// collectDirectives scans every comment in the package for lrlint
-// directives, returning the index plus findings for malformed ones.
+const (
+	directivePrefix = "//lrlint:ignore"
+	hotpathPrefix   = "//lrlint:hotpath"
+)
+
+// collectDirectives scans every comment in the package for ignore
+// directives, returning the index plus findings for malformed ones. A
+// directive must name a catalog rule and give a reason; anything else is a
+// finding rather than a silent no-op.
 func collectDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 	idx := make(directiveIndex)
 	var bad []Diagnostic
@@ -337,17 +494,81 @@ func collectDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 					})
 					continue
 				}
+				if !KnownRule(fields[0]) {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  fmt.Sprintf("directive names unknown rule %q; catalog: %s", fields[0], strings.Join(AllRules, ", ")),
+					})
+					continue
+				}
 				lines := idx[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]directive)
 					idx[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], directive{rule: fields[0]})
+				lines[pos.Line] = append(lines[pos.Line], directive{rule: fields[0], pos: pos, used: new(bool)})
 			}
 		}
 	}
 	idx.expandSpans(pkg)
 	return idx, bad
+}
+
+// collectHotMarkers scans for //lrlint:hotpath markers and resolves each to
+// the function declaration it annotates: the marker must sit in the
+// function's doc comment or on the line immediately above the declaration.
+// A marker attached to nothing is a finding — it would otherwise silently
+// root nothing.
+func collectHotMarkers(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
+	marked := make(map[*ast.FuncDecl]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		// Map each declaration's doc span and start line once per file.
+		type declSpan struct {
+			decl      *ast.FuncDecl
+			docStart  token.Pos
+			docEnd    token.Pos
+			startLine int
+		}
+		var decls []declSpan
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ds := declSpan{decl: fd, startLine: pkg.Fset.Position(fd.Pos()).Line}
+			if fd.Doc != nil {
+				ds.docStart, ds.docEnd = fd.Doc.Pos(), fd.Doc.End()
+			}
+			decls = append(decls, ds)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, hotpathPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				attached := false
+				for _, ds := range decls {
+					inDoc := ds.docStart != token.NoPos && c.Pos() >= ds.docStart && c.End() <= ds.docEnd
+					if inDoc || pos.Line == ds.startLine-1 {
+						marked[ds.decl] = true
+						attached = true
+						break
+					}
+				}
+				if !attached {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  "//lrlint:hotpath marker is not attached to a function declaration",
+					})
+				}
+			}
+		}
+	}
+	return marked, bad
 }
 
 // expandSpans propagates a directive written on (or immediately above) the

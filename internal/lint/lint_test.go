@@ -32,6 +32,11 @@ var fixtureCases = []struct {
 	{"directive_span_clean", "fix/internal/directive_span_clean"},
 	{"tracetime_bad", "fix/internal/trace/tracetime_bad"},
 	{"tracetime_clean", "fix/internal/trace/tracetime_clean"},
+	{"allochot_bad", "fix/internal/erasure/allochot_bad"},
+	{"allochot_clean", "fix/internal/erasure/allochot_clean"},
+	{"lockdisc_bad", "fix/internal/harness/lockdisc_bad"},
+	{"lockdisc_clean", "fix/internal/harness/lockdisc_clean"},
+	{"unusedignore_bad", "fix/internal/unusedignore_bad"},
 }
 
 // TestFixtures runs the full pass suite over each fixture package and
@@ -133,6 +138,57 @@ func TestTaintModuleFixtures(t *testing.T) {
 	}
 }
 
+// TestProvModuleFixtures exercises rng-provenance over the mini-module under
+// testdata/src/provmod: the pass is cross-package by design (parameters
+// resolve through call sites in other packages, fields through composite
+// literals, interface methods through the implementers table), so the whole
+// pretend module is loaded. All findings must be rng-provenance findings
+// inside prov_bad; the radio and prov_clean packages must stay silent.
+func TestProvModuleFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src", "provmod")
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cfg := DefaultConfig(modPath)
+	cfg.TrimPrefix = absRoot
+	diags := Run(pkgs, cfg)
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Rule != RuleRNGProv {
+			t.Errorf("non-provenance finding in provenance fixture module: %s", d)
+		}
+		if !strings.Contains(filepath.ToSlash(d.Pos.Filename), "prov_bad/") {
+			t.Errorf("finding outside prov_bad: %s", d)
+		}
+	}
+	got := sb.String()
+	if got == "" {
+		t.Fatal("provenance fixture module produced no findings")
+	}
+
+	golden := filepath.Join(root, "expect.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestRealModuleClean asserts the invariant the whole PR enforces: lrlint
 // runs clean on the repository itself.
 func TestRealModuleClean(t *testing.T) {
@@ -152,7 +208,7 @@ func TestRealModuleClean(t *testing.T) {
 // line immediately above, with rule match required.
 func TestDirectiveSuppression(t *testing.T) {
 	idx := directiveIndex{
-		"f.go": {10: []directive{{rule: RuleMapRange}}},
+		"f.go": {10: []directive{{rule: RuleMapRange, used: new(bool)}}},
 	}
 	mk := func(line int, rule string) Diagnostic {
 		d := Diagnostic{Rule: rule}

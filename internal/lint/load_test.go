@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLoadModuleParseFailure pins the load-failure path: a module containing
+// a file that does not parse must surface a parse error naming the file, not
+// a panic or a silent skip.
+func TestLoadModuleParseFailure(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "module broken\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(root, "broken.go"), "package broken\n\nfunc Oops( {\n")
+	if _, _, err := LoadModule(root); err == nil {
+		t.Fatal("LoadModule accepted a module with a syntax error")
+	} else if !strings.Contains(err.Error(), "parse") || !strings.Contains(err.Error(), "broken.go") {
+		t.Fatalf("parse failure error does not name the file: %v", err)
+	}
+}
+
+// TestLoadModuleMissingGoMod pins the error for a root with no go.mod and
+// for a go.mod with no module directive.
+func TestLoadModuleMissingGoMod(t *testing.T) {
+	if _, _, err := LoadModule(t.TempDir()); err == nil {
+		t.Fatal("LoadModule accepted a directory without go.mod")
+	}
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "go.mod"), "go 1.22\n")
+	if _, _, err := LoadModule(root); err == nil {
+		t.Fatal("LoadModule accepted a go.mod without a module directive")
+	} else if !strings.Contains(err.Error(), "module directive") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestLoadModuleCycle runs the loader over the committed cyclic fixture
+// module: two packages importing each other must be rejected by the up-front
+// cycle check (a deadlock here would hang the test, not fail it, so the
+// error text is asserted too).
+func TestLoadModuleCycle(t *testing.T) {
+	_, _, err := LoadModule(filepath.Join("testdata", "src", "cyclemod"))
+	if err == nil {
+		t.Fatal("LoadModule accepted a module with an import cycle")
+	}
+	if !strings.Contains(err.Error(), "import cycle through cyc/internal/") {
+		t.Fatalf("cycle error does not name a cycle member: %v", err)
+	}
+}
+
+// TestLoadModuleDeterministicOrder pins the contract the parallel
+// type-checker must preserve: repeated loads return the same packages in the
+// same (sorted) order, and the analysis over them renders byte-identical
+// output. The taint fixture module is used because it has real cross-package
+// imports, so check order genuinely varies between goroutine schedules.
+func TestLoadModuleDeterministicOrder(t *testing.T) {
+	root := filepath.Join("testdata", "src", "taintmod")
+	var prevPaths []string
+	var prevOut string
+	for i := 0; i < 3; i++ {
+		pkgs, modPath, err := LoadModule(root)
+		if err != nil {
+			t.Fatalf("LoadModule: %v", err)
+		}
+		paths := make([]string, len(pkgs))
+		for j, p := range pkgs {
+			paths[j] = p.ImportPath
+		}
+		if !sort.StringsAreSorted(paths) {
+			t.Fatalf("packages not sorted by import path: %v", paths)
+		}
+		var sb strings.Builder
+		for _, d := range Run(pkgs, DefaultConfig(modPath)) {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		out := sb.String()
+		if i > 0 {
+			if strings.Join(paths, ",") != strings.Join(prevPaths, ",") {
+				t.Fatalf("load %d returned different package order:\n%v\nvs\n%v", i, paths, prevPaths)
+			}
+			if out != prevOut {
+				t.Fatalf("load %d produced different diagnostics:\n%s\nvs\n%s", i, out, prevOut)
+			}
+		}
+		prevPaths, prevOut = paths, out
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the lock-discipline pass, the SSA-lite successor of
+// the syntactic harness-concurrency scan. The harness design promises that
+// workers communicate with the pool EXCLUSIVELY over channels, with all
+// merging on the single ordered-merge goroutine; where shared mutable state
+// is genuinely needed, every write must be dominated by the acquire of the
+// owning mutex.
+//
+// For every `go func() { ... }()` literal in a concurrency-scoped package
+// the pass builds the body's CFG and runs a forward MUST-held lockset
+// analysis: a lock is in the set at a program point only if it is held on
+// EVERY path from the goroutine's entry. At each write to captured state:
+//
+//   - if the written object's selector chain passes through a struct that
+//     declares a sync.Mutex/RWMutex field, that specific mutex (the owning
+//     mutex, e.g. s.mu for a write to s.count) must be in the held set;
+//
+//   - otherwise any held lock is accepted, preserving the older pass's
+//     cheaper invariant for plain shared variables.
+//
+// Semantics of the lockset: mu.Lock() adds mu's key; mu.Unlock() removes
+// it; `defer mu.Unlock()` removes nothing (the lock is then held to the end
+// of the body); RLock/RUnlock contribute nothing — a read lock never
+// justifies a WRITE, which the old depth counter got wrong. A Lock on a
+// receiver the analysis cannot name (e.g. locks[i].Lock()) adds a wildcard
+// that satisfies any requirement, keeping the unknown case conservative
+// toward silence. Joins intersect; loops reach a fixpoint, so a lock
+// released on any path through a loop body is not considered held after it.
+//
+// Nested function literals run on the same goroutine and are analyzed with
+// the lockset live at their syntactic position; nested `go` literals start
+// fresh goroutines and are re-analyzed from an empty lockset with capture
+// judged against the inner literal.
+func checkLockDiscipline(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	walkNonTest(pkg, func(f *ast.File, n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		la := &lockAnalysis{pkg: pkg, lit: lit}
+		la.analyze(lit.Body, nil)
+		diags = append(diags, la.diags...)
+		return false // nested go literals are re-analyzed recursively
+	})
+	return diags
+}
+
+type lockAnalysis struct {
+	pkg   *Package
+	lit   *ast.FuncLit // the goroutine body; capture is judged against it
+	diags []Diagnostic
+}
+
+// event kinds, in per-block source order.
+const (
+	evLock = iota
+	evUnlock
+	evWrite
+	evLit   // nested literal on the same goroutine
+	evGoLit // nested literal starting a new goroutine
+)
+
+type lockEvent struct {
+	kind int
+	key  string       // evLock/evUnlock; "" means unknown receiver
+	lhs  ast.Expr     // evWrite
+	pos  token.Pos    // evWrite
+	lit  *ast.FuncLit // evLit/evGoLit
+}
+
+// wildcardKey is the lockset entry for an acquire whose receiver could not
+// be named; it satisfies every requirement.
+const wildcardKey = "?"
+
+// analyze runs the must-held fixpoint over one body and reports violating
+// writes. entry is the lockset live at the body's entry (nil for a fresh
+// goroutine).
+func (la *lockAnalysis) analyze(body *ast.BlockStmt, entry map[string]bool) {
+	g := buildCFG(body)
+
+	goLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if l, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				goLits[l] = true
+			}
+		}
+		return true
+	})
+
+	events := make([][]lockEvent, len(g.blocks))
+	universe := make(map[string]bool)
+	for bi, blk := range g.blocks {
+		for _, node := range blk.nodes {
+			la.collect(node, &events[bi], goLits)
+		}
+		for _, ev := range events[bi] {
+			if ev.kind == evLock {
+				universe[ev.lockKeyOrWildcard()] = true
+			}
+		}
+	}
+
+	// Forward must-analysis: IN = ∩ preds' OUT, entry starts from the given
+	// set, everything else from the full universe (so loops converge down).
+	in := make([]map[string]bool, len(g.blocks))
+	out := make([]map[string]bool, len(g.blocks))
+	for i := range out {
+		out[i] = copySet(universe)
+	}
+	out[g.entry.index] = applyEvents(copySet(entry), events[g.entry.index])
+	rpo, _ := reversePostorder(g)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var s map[string]bool
+			if b == g.entry {
+				s = copySet(entry)
+			} else {
+				s = nil
+				for _, p := range b.preds {
+					if s == nil {
+						s = copySet(out[p.index])
+					} else {
+						s = intersect(s, out[p.index])
+					}
+				}
+				if s == nil {
+					s = copySet(universe) // unreachable: stay vacuously safe
+				}
+			}
+			in[b.index] = s
+			ns := applyEvents(copySet(s), events[b.index])
+			if !sameSet(ns, out[b.index]) {
+				out[b.index] = ns
+				changed = true
+			}
+		}
+	}
+
+	// Report pass: replay each block from its IN set.
+	for bi, blk := range g.blocks {
+		running := copySet(in[blk.index])
+		if blk == g.entry {
+			running = copySet(entry)
+		}
+		for _, ev := range events[bi] {
+			switch ev.kind {
+			case evLock, evUnlock:
+				running = applyEvents(running, []lockEvent{ev})
+			case evWrite:
+				la.checkWrite(ev.lhs, ev.pos, running)
+			case evLit:
+				la.analyze(ev.lit.Body, copySet(running))
+			case evGoLit:
+				inner := &lockAnalysis{pkg: la.pkg, lit: ev.lit}
+				inner.analyze(ev.lit.Body, nil)
+				la.diags = append(la.diags, inner.diags...)
+			}
+		}
+	}
+}
+
+func (ev lockEvent) lockKeyOrWildcard() string {
+	if ev.key == "" {
+		return wildcardKey
+	}
+	return ev.key
+}
+
+// collect turns one recorded CFG node into its ordered event list: lock
+// operations and nested literals from the value-computation parts first,
+// then the write targets (assignment stores after RHS evaluation).
+func (la *lockAnalysis) collect(node ast.Node, evs *[]lockEvent, goLits map[*ast.FuncLit]bool) {
+	_, isDefer := node.(*ast.DeferStmt)
+	for _, part := range scanParts(node) {
+		ast.Inspect(part, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				kind := evLit
+				if goLits[n] {
+					kind = evGoLit
+				}
+				*evs = append(*evs, lockEvent{kind: kind, lit: n})
+				return false
+			case *ast.CallExpr:
+				if isDefer {
+					return true // a deferred Unlock releases nothing yet
+				}
+				if kind, key, ok := la.lockOp(n); ok {
+					*evs = append(*evs, lockEvent{kind: kind, key: key})
+				}
+			}
+			return true
+		})
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if n.Tok == token.DEFINE {
+				if id, ok := lhs.(*ast.Ident); ok && la.pkg.Info.Defs[id] != nil {
+					continue // declares a goroutine-local
+				}
+			}
+			*evs = append(*evs, lockEvent{kind: evWrite, lhs: lhs, pos: n.Pos()})
+		}
+	case *ast.IncDecStmt:
+		*evs = append(*evs, lockEvent{kind: evWrite, lhs: n.X, pos: n.Pos()})
+	case *ast.RangeStmt:
+		// ASSIGN-form range writes pre-existing variables per iteration; the
+		// lockset checked is the one live at loop entry.
+		if n.Tok == token.ASSIGN {
+			if n.Key != nil {
+				*evs = append(*evs, lockEvent{kind: evWrite, lhs: n.Key, pos: n.Pos()})
+			}
+			if n.Value != nil {
+				*evs = append(*evs, lockEvent{kind: evWrite, lhs: n.Value, pos: n.Pos()})
+			}
+		}
+	}
+}
+
+// lockOp recognizes Lock/Unlock calls on sync primitives and names the
+// receiver. RLock/RUnlock are consumed (ok=true would be wrong — they must
+// not reach the event stream) by returning ok=false, contributing nothing.
+func (la *lockAnalysis) lockOp(call *ast.CallExpr) (kind int, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, "", false
+	}
+	fn, _ := la.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, "", false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return evLock, la.lockKey(sel.X), true
+	case "Unlock":
+		return evUnlock, la.lockKey(sel.X), true
+	}
+	return 0, "", false
+}
+
+// lockKey renders a stable identity for a mutex expression: the root
+// object's declaration position plus the selector path, so s.mu and s.mu
+// written elsewhere agree and t.mu differs. Unresolvable shapes return "".
+func (la *lockAnalysis) lockKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := la.pkg.Info.Uses[x]
+		if obj == nil {
+			obj = la.pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("v%d", obj.Pos())
+	case *ast.SelectorExpr:
+		base := la.lockKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return la.lockKey(x.X)
+	default:
+		return ""
+	}
+}
+
+// captured reports whether the object is declared OUTSIDE the goroutine's
+// function literal (and is a variable — captured constants and functions
+// are immutable). Package-level variables have no enclosing literal but are
+// just as shared; they count as captured too.
+func (la *lockAnalysis) captured(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < la.lit.Pos() || v.Pos() > la.lit.End()
+}
+
+// rootObj digs to the base object a write lands on: for `out[i] = v` and
+// `*p = v` and `rec.Field = v` that is out / p / rec.
+func (la *lockAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := la.pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return la.pkg.Info.Defs[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ownerReq is one mutex that would satisfy a write: its lockset key and a
+// human-readable rendering for the message.
+type ownerReq struct {
+	key     string
+	display string
+}
+
+// owners walks the write target's selector chain and collects the mutex
+// fields of every struct it passes through — the candidate owning mutexes.
+func (la *lockAnalysis) owners(lhs ast.Expr) []ownerReq {
+	var reqs []ownerReq
+	add := func(e ast.Expr) {
+		t := la.pkg.Info.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		base := la.lockKey(e)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !isMutexType(f.Type()) {
+				continue
+			}
+			req := ownerReq{display: types.ExprString(e) + "." + f.Name()}
+			if base != "" {
+				req.key = base + "." + f.Name()
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	e := lhs
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			add(x.X)
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			add(x)
+			return dedupeOwners(reqs)
+		default:
+			return dedupeOwners(reqs)
+		}
+	}
+}
+
+func dedupeOwners(reqs []ownerReq) []ownerReq {
+	seen := make(map[string]bool)
+	out := reqs[:0]
+	for _, r := range reqs {
+		id := r.key + "|" + r.display
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// checkWrite reports a finding when the write's root object is captured and
+// the held lockset does not satisfy the owning-mutex requirement.
+func (la *lockAnalysis) checkWrite(lhs ast.Expr, pos token.Pos, held map[string]bool) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	obj := la.rootObj(lhs)
+	if obj == nil || !la.captured(obj) {
+		return
+	}
+	reqs := la.owners(lhs)
+	if len(reqs) == 0 {
+		if len(held) > 0 {
+			return
+		}
+		la.diags = append(la.diags, Diagnostic{
+			Pos:  la.pkg.Fset.Position(pos),
+			Rule: RuleLockDiscipline,
+			Msg: fmt.Sprintf("goroutine writes captured variable %q without holding a mutex; workers must communicate over channels and leave merging to the ordered-merge goroutine",
+				obj.Name()),
+		})
+		return
+	}
+	if held[wildcardKey] {
+		return
+	}
+	var names []string
+	for _, r := range reqs {
+		if r.key != "" && held[r.key] {
+			return
+		}
+		names = append(names, r.display)
+	}
+	sort.Strings(names)
+	la.diags = append(la.diags, Diagnostic{
+		Pos:  la.pkg.Fset.Position(pos),
+		Rule: RuleLockDiscipline,
+		Msg: fmt.Sprintf("goroutine write to %q is not dominated by its owning mutex (%s); acquire it on every path before the write",
+			obj.Name(), strings.Join(names, " or ")),
+	})
+}
+
+// --- small set helpers ---
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	for k := range a {
+		if !b[k] {
+			delete(a, k)
+		}
+	}
+	return a
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyEvents runs the lock transfer function over a set.
+func applyEvents(s map[string]bool, evs []lockEvent) map[string]bool {
+	for _, ev := range evs {
+		switch ev.kind {
+		case evLock:
+			s[ev.lockKeyOrWildcard()] = true
+		case evUnlock:
+			if ev.key == "" {
+				// Unlock of an unnamed receiver: assume it could release
+				// anything, which is the safe direction for a must-analysis.
+				for k := range s {
+					delete(s, k)
+				}
+			} else {
+				delete(s, ev.key)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output, the interchange format CI code-scanning surfaces
+// ingest. The mapping is deliberately minimal: one run, one tool, the full
+// rule catalog as reportingDescriptors (so a viewer can show rule help even
+// for rules with zero results), and one result per diagnostic with a
+// physical location. Only fields the schema requires or a viewer renders are
+// emitted; everything else is omitted rather than stubbed.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ruleSummaries gives each catalog rule the one-line description SARIF
+// viewers display next to results.
+var ruleSummaries = map[string]string{
+	RuleWallclock:      "simulation code must take time from the event engine, not the wall clock",
+	RuleGlobalRand:     "randomness must flow through seeded *rand.Rand streams, never the global source",
+	RuleMapRange:       "map iteration order must not influence simulation-visible state",
+	RuleErrcheck:       "errors from crypto and erasure primitives must be checked",
+	RuleTaint:          "received payloads must be hash-verified before use",
+	RuleLockDiscipline: "harness goroutine writes to shared state must be dominated by the owning mutex",
+	RuleRNG:            "RNG streams must stay package-internal and be derived per purpose",
+	RuleTraceTime:      "trace records must carry simulated time, not host time",
+	RuleAllocHot:       "hot-path functions must not allocate per iteration",
+	RuleRNGProv:        "consumed RNG streams must trace to a seeded rand.New construction",
+	RuleUnusedIgnore:   "lrlint:ignore directives must suppress at least one live finding",
+	RuleDirective:      "lrlint directives must be well-formed and attached",
+}
+
+// ToSARIF renders diagnostics as a SARIF 2.1.0 log. Filenames are emitted
+// with forward slashes as SARIF URIs require.
+func ToSARIF(diags []Diagnostic) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(AllRules))
+	for _, r := range AllRules {
+		rules = append(rules, sarifRule{
+			ID:               r,
+			ShortDescription: sarifMessage{Text: ruleSummaries[r]},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lrlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

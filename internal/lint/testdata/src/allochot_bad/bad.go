@@ -1,0 +1,62 @@
+// Package allochot_bad exercises every alloc-hotpath finding shape. The
+// package sits under fix/internal/erasure so findings are reportable; the
+// roots are declared with //lrlint:hotpath markers.
+package allochot_bad
+
+import "io"
+
+// Sink abstracts the output; Emit's any parameter boxes value arguments.
+type Sink interface {
+	Emit(v any)
+}
+
+// Symbol is a small value type; passing it to Emit boxes it.
+type Symbol struct {
+	Index int
+	Data  []byte
+}
+
+//lrlint:hotpath
+func EncodeAll(blocks [][]byte, sink Sink) [][]byte {
+	var out [][]byte
+	for _, b := range blocks {
+		shard := make([]byte, len(b)) // make in loop
+		copy(shard, b)
+		out = append(out, shard)         // append growth, no visible capacity
+		sink.Emit(Symbol{Index: len(b)}) // interface boxing (also in loop)
+		hdr := []byte("hdr")             // conversion in loop
+		_ = hdr
+		tmp := []int{1, 2, 3} // slice composite literal in loop
+		_ = tmp
+		cfg := &Symbol{Index: 1} // &composite in loop
+		_ = cfg
+	}
+	return helper(out)
+}
+
+// helper is reachable from EncodeAll, so its loops are hot too.
+func helper(blocks [][]byte) [][]byte {
+	for range blocks {
+		defer release() // defer in loop
+		f := func() int { return 1 }
+		_ = f() // closure allocated per iteration
+	}
+	return blocks
+}
+
+//lrlint:hotpath
+func WriteAll(w io.Writer, rows [][]byte) {
+	for _, r := range rows {
+		variadicJoin(r, r) // variadic call materializes a slice per iteration
+	}
+}
+
+func variadicJoin(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...) // append growth inside a hot callee
+	}
+	return out
+}
+
+func release() {}

@@ -1,0 +1,64 @@
+// Package allochot_clean holds the allocation shapes alloc-hotpath must NOT
+// flag: preallocated appends, pre-header range expressions, cold subtrees,
+// pointer-shaped interface arguments, and cold functions entirely.
+package allochot_clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sink abstracts the output; Put takes a pointer, which never boxes.
+type Sink interface {
+	Put(s *Shard)
+}
+
+// Shard is one encoded block.
+type Shard struct {
+	Data []byte
+}
+
+//lrlint:hotpath
+func EncodeAll(blocks [][]byte, sink Sink) ([][]byte, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("no blocks") // cold: errors call outside loop
+	}
+	out := make([][]byte, 0, len(blocks)) // make with capacity, outside loop
+	buf := make([]byte, len(blocks)*8)
+	scratch := buf[0:0:8] // full-slice expression pins capacity
+	sh := &Shard{}        // hoisted record, reused every iteration
+	for i, b := range blocks {
+		if len(b) == 0 {
+			// Cold subtrees: failure formatting and panic arguments.
+			panic(fmt.Sprintf("empty block %d", i))
+		}
+		out = append(out, b)            // append into preallocated slice
+		scratch = append(scratch, b[0]) // full-slice base is preallocated
+		sh.Data = b
+		sink.Put(sh) // pointer arg: no boxing
+	}
+	return out, nil
+}
+
+//lrlint:hotpath
+func SumRows(table map[string][]int) int {
+	total := 0
+	// The range expression evaluates once, in the loop pre-header: the
+	// conversion below must not be treated as per-iteration.
+	for _, c := range []byte(keyOf(table)) {
+		total += int(c)
+	}
+	return total
+}
+
+func keyOf(map[string][]int) string { return "k" }
+
+// coldSetup is NOT reachable from any hot root or marker: its loop
+// allocations are fine.
+func coldSetup(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		out = append(out, make([]byte, n))
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package alpha imports beta, which imports alpha back: the loader must
+// reject the cycle up front instead of deadlocking the Once-based parallel
+// type-check.
+package alpha
+
+import "cyc/internal/beta"
+
+func A() int { return beta.B() }

@@ -1,0 +1,6 @@
+// Package beta completes the import cycle with alpha.
+package beta
+
+import "cyc/internal/alpha"
+
+func B() int { return alpha.A() }

@@ -1,0 +1,88 @@
+// Package lockdisc_bad exercises the CFG-level lock-discipline violations:
+// writes not dominated by the owning mutex acquire.
+package lockdisc_bad
+
+import "sync"
+
+// State is shared worker state with a declared owning mutex.
+type State struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+	last  int
+}
+
+// BranchyLock locks on only one branch: the write after the join is not
+// dominated by the acquire.
+func BranchyLock(s *State, cond bool, done chan struct{}) {
+	go func() {
+		if cond {
+			s.mu.Lock()
+		}
+		s.count++ // held on one path only: must-analysis rejects
+		if cond {
+			s.mu.Unlock()
+		}
+		close(done)
+	}()
+}
+
+// UnlockThenWrite releases before the write.
+func UnlockThenWrite(s *State, done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		s.count++
+		s.mu.Unlock()
+		s.last = s.count // after Unlock: lockset is empty again
+		close(done)
+	}()
+}
+
+// ReadLockWrite writes under an RLock; a read lock never justifies a write.
+func ReadLockWrite(s *State, done chan struct{}) {
+	go func() {
+		s.rw.RLock()
+		s.last++ // RLock held, but writes need the write lock
+		s.rw.RUnlock()
+		close(done)
+	}()
+}
+
+// WrongMutex holds a different variable's lock than the one owning the
+// written field.
+func WrongMutex(a, b *State, done chan struct{}) {
+	go func() {
+		b.mu.Lock()
+		a.count = 1 // a's owning mutex is a.mu, not b.mu
+		b.mu.Unlock()
+		close(done)
+	}()
+}
+
+// LoopRelease acquires before the loop but releases inside it, so from the
+// second iteration on the write is unprotected.
+func LoopRelease(s *State, n int, done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		for i := 0; i < n; i++ {
+			s.count += i // not held on the back-edge path
+			s.mu.Unlock()
+		}
+		close(done)
+	}()
+}
+
+// PlainCaptured writes a captured local with no lock at all (the classic
+// harness race the old syntactic pass caught).
+func PlainCaptured(n int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			total += i // captured, no mutex held anywhere
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}

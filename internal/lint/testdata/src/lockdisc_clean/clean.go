@@ -1,0 +1,77 @@
+// Package lockdisc_clean holds the goroutine shapes lock-discipline must
+// accept: writes dominated by the owning mutex on every path, deferred
+// unlocks, channel-only communication, and goroutine-local state.
+package lockdisc_clean
+
+import "sync"
+
+// State is shared worker state with a declared owning mutex.
+type State struct {
+	mu    sync.Mutex
+	count int
+	last  int
+}
+
+// BothBranches acquires on every path before the write after the join.
+func BothBranches(s *State, cond bool, done chan struct{}) {
+	go func() {
+		if cond {
+			s.mu.Lock()
+		} else {
+			s.mu.Lock()
+		}
+		s.count++ // held on both join predecessors
+		s.mu.Unlock()
+		close(done)
+	}()
+}
+
+// DeferUnlock holds the lock to the end of the goroutine; a deferred Unlock
+// releases nothing at the defer statement itself.
+func DeferUnlock(s *State, n int, done chan struct{}) {
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i := 0; i < n; i++ {
+			s.count += i // still held on the back edge
+		}
+		s.last = s.count
+	}()
+}
+
+// Channels communicates over a channel and keeps all mutation goroutine-local
+// — the harness's preferred shape.
+func Channels(jobs []int) []int {
+	results := make(chan int, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			local := v * v // goroutine-local: declared inside the literal
+			local++
+			results <- local
+		}(j)
+	}
+	wg.Wait()
+	close(results)
+	out := make([]int, 0, len(jobs))
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// NestedSameGoroutine: a non-go nested literal runs on the same goroutine
+// and inherits the lockset live at its position.
+func NestedSameGoroutine(s *State, apply func(func()), done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		apply(func() {
+			s.count++ // the outer Lock is still held here
+		})
+		s.mu.Unlock()
+		close(done)
+	}()
+}

@@ -1,0 +1,3 @@
+module prov
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package unusedignore_bad exercises the directive-hygiene findings: stale
+// suppressions, unknown rule names, and unattached hotpath markers.
+package unusedignore_bad
+
+// Sum no longer ranges a map, so the directive below suppresses nothing and
+// must be reported as stale.
+func Sum(vals []int) int {
+	total := 0
+	//lrlint:ignore map-range iteration order does not matter here
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+//lrlint:ignore no-such-rule the catalog has no rule by this name
+func Unknown() int { return 1 }
+
+// The marker below attaches to nothing: there is a blank line between it and
+// the next declaration.
+//lrlint:hotpath
+
+var count int

@@ -214,6 +214,7 @@ func (nw *Network) deliver(from packet.NodeID, p packet.Packet) {
 			continue
 		}
 		target := rcv
+		//lrlint:ignore alloc-hotpath one scheduled closure per receiver IS the broadcast model; it captures (to, target) and cannot be hoisted without a per-network event-arg pool
 		nw.eng.Schedule(nw.cfg.PropDelay, func() {
 			nw.col.RecordRx(p)
 			nw.tr.Rx(packet.NodeID(to), from, p)

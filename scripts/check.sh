@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
 # Expanded tier-1 gate: formatting, vet, build, lrlint (the JSON diagnostic
 # artifact is the gate — diffed against its committed golden, so any new
-# finding shows up in the diff — with the analyzer selfbench written to
-# BENCH_lint.json), race-enabled tests, lrsweep golden-JSONL diff, the
+# finding shows up in the diff — filtered through the committed
+# lint-baseline.json so only drift fails, with stale-directive detection on,
+# a SARIF 2.1.0 artifact smoke-checked, the analyzer selfbench written to
+# BENCH_lint.json with per-pass timings and a <2x gate-cost regression check,
+# and a scratch-module probe proving a fresh hot-path allocation still fails
+# through the baseline), race-enabled tests, lrsweep golden-JSONL diff, the
 # serial-vs-parallel sweep bench, the churn-sweep fault-injection bench
 # (BENCH_fault.json), and the tracing gates: traced-sweep metrics must stay
 # byte-equal to the untraced golden, per-run trace directories must be
@@ -28,13 +32,58 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> lrlint -json artifact vs golden (and selfbench -> BENCH_lint.json)"
+echo "==> lrlint -json artifact vs golden (baseline-filtered, selfbench -> BENCH_lint.json, SARIF smoke)"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
+# Remember the committed gate cost before the selfbench overwrites it; the
+# regression gate below compares the fresh run against it.
+prev_gate_ms=$(sed -n 's/.*"gate_total_ms": \([0-9.eE+-]*\),*/\1/p' BENCH_lint.json 2>/dev/null || true)
 # `|| true`: when findings exist the diff below fails with the findings
 # visible in context, which is a more useful gate report than the bare exit.
-go run ./cmd/lrlint -json -selfbench BENCH_lint.json ./... > "$tmpdir/lint.json" || true
+go run ./cmd/lrlint -json -unused-ignores -baseline lint-baseline.json \
+    -sarif "$tmpdir/lint.sarif" -selfbench BENCH_lint.json ./... > "$tmpdir/lint.json" || true
 diff -u cmd/lrlint/testdata/lint_clean.golden.json "$tmpdir/lint.json"
+
+echo "==> lrlint SARIF artifact structure"
+grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' "$tmpdir/lint.sarif"
+grep -q '"version": "2.1.0"' "$tmpdir/lint.sarif"
+grep -q '"name": "lrlint"' "$tmpdir/lint.sarif"
+grep -q '"id": "alloc-hotpath"' "$tmpdir/lint.sarif"
+
+echo "==> lrlint selfbench regression gate (gate_total_ms < 2x committed)"
+new_gate_ms=$(sed -n 's/.*"gate_total_ms": \([0-9.eE+-]*\),*/\1/p' BENCH_lint.json)
+grep -q '"alloc-hotpath"' BENCH_lint.json  # pass_ms must carry the new passes
+awk -v prev="$prev_gate_ms" -v new="$new_gate_ms" 'BEGIN {
+    if (new == "") { print "selfbench gate: missing gate_total_ms"; exit 1 }
+    if (prev != "" && new + 0 > 2 * (prev + 0)) {
+        print "selfbench gate: gate_total_ms regressed " new " vs committed " prev; exit 1
+    }
+}'
+
+echo "==> lrlint baseline-drift probe (scratch hot-path alloc must fail the gate)"
+mkdir -p "$tmpdir/probe"
+printf 'module probe\n\ngo 1.22\n' > "$tmpdir/probe/go.mod"
+cat > "$tmpdir/probe/probe.go" <<'EOF'
+package probe
+
+//lrlint:hotpath
+func Encode(blocks [][]byte) [][]byte {
+	var out [][]byte
+	for _, b := range blocks {
+		shard := make([]byte, len(b))
+		copy(shard, b)
+		out = append(out, shard)
+	}
+	return out
+}
+EOF
+if go run ./cmd/lrlint -baseline lint-baseline.json "$tmpdir/probe" > /dev/null 2>&1; then
+    echo "baseline-drift gate failed: scratch hot-path allocation was not caught" >&2
+    exit 1
+fi
+# And the inverse: a baseline written from the probe findings absorbs them.
+go run ./cmd/lrlint -write-baseline "$tmpdir/probe-baseline.json" "$tmpdir/probe" 2> /dev/null
+go run ./cmd/lrlint -baseline "$tmpdir/probe-baseline.json" "$tmpdir/probe" > /dev/null 2> /dev/null
 
 echo "==> go test -race ./..."
 go test -race ./...
