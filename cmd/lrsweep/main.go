@@ -11,6 +11,14 @@
 //	lrsweep -sweep smoke -runs 4 -selfbench BENCH_sweep.json
 //	lrsweep -sweep smoke -quick -runs 2 -trace-dir traces/ -o smoke.jsonl
 //	lrsweep -sweep smoke -quick -runs 2 -tracebench BENCH_trace.json
+//	lrsweep -sweep fig4 -runs 3 -store results/ -code-version v7 -o fig4-cells.jsonl
+//
+// With -store, the sweep runs incrementally against a content-addressed run
+// store (shared with the lrserved daemon): cells whose keys are already
+// stored are served from it, only the missing cells are simulated, and the
+// output is one JSONL line per cell (aggregates, not per-run records). The
+// output bytes are identical whether a cell was computed or cached, so a
+// warm rerun reproduces the cold run's file exactly.
 //
 // Exit codes: 0 success, 1 a run failed (panic/timeout/error; all other
 // records are still written), 2 usage errors such as an unknown sweep or
@@ -32,6 +40,8 @@ import (
 
 	"lrseluge/internal/experiment"
 	"lrseluge/internal/harness"
+	"lrseluge/internal/runstore"
+	"lrseluge/internal/served"
 	"lrseluge/internal/trace"
 )
 
@@ -54,6 +64,8 @@ func run() int {
 		selfbench  = flag.String("selfbench", "", "benchmark mode: run the sweep serially then with -parallel workers, verify byte-identical JSONL, write timings to this JSON file")
 		traceDir   = flag.String("trace-dir", "", "write one JSONL protocol trace per run into this directory (analyze with lrtrace)")
 		tracebench = flag.String("tracebench", "", "benchmark mode: run the sweep untraced twice then traced, verify identical metrics, write tracer-overhead timings to this JSON file")
+		storeDir   = flag.String("store", "", "incremental mode: consult this run-store directory per cell, compute only the misses, and emit one JSONL line per cell (see lrserved)")
+		codeVer    = flag.String("code-version", "dev", "code-version stamp mixed into store keys (with -store)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 	)
@@ -91,6 +103,20 @@ func run() int {
 	}
 	if *memprofile != "" {
 		defer writeMemProfile(*memprofile)
+	}
+
+	if *storeDir != "" {
+		if *csvPath != "" || *traceDir != "" || *selfbench != "" || *tracebench != "" {
+			fmt.Fprintln(os.Stderr, "lrsweep: -store is incompatible with -csv, -trace-dir, -selfbench and -tracebench")
+			return 2
+		}
+		spec := experiment.SweepSpec{Runs: *runs, Seed: *seed, Quick: *quick}
+		if err := runIncremental(*storeDir, *sweep, spec, *codeVer, *out,
+			harness.Config{Workers: *parallel, Timeout: *timeout}); err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *selfbench != "" {
@@ -177,6 +203,65 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// cellLine is the JSONL schema of -store mode: one line per sweep cell,
+// aggregate result included, cache provenance deliberately excluded — hit
+// and miss counts go to stderr instead, so a warm rerun's output is
+// byte-identical to the cold run's.
+type cellLine struct {
+	Sweep  string               `json:"sweep"`
+	Index  int                  `json:"index"`
+	Name   string               `json:"name"`
+	Proto  string               `json:"proto"`
+	Params []harness.Param      `json:"params,omitempty"`
+	Key    string               `json:"key"`
+	Runs   int                  `json:"runs"`
+	Result experiment.AvgResult `json:"result"`
+}
+
+// runIncremental runs the sweep against a content-addressed store: cells
+// already present are served from it, only the misses are computed (and
+// stored), and one JSONL line per cell goes to outPath.
+func runIncremental(storeDir, sweep string, spec experiment.SweepSpec, codeVersion, outPath string, cfg harness.Config) error {
+	store, err := runstore.Open(storeDir, runstore.Options{})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	outs, hits, misses, err := served.RunSweep(store, sweep, spec, codeVersion, cfg)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if outPath != "" && outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	for _, o := range outs {
+		line := cellLine{
+			Sweep:  o.Sweep,
+			Index:  o.Index,
+			Name:   o.Name,
+			Proto:  o.Proto,
+			Params: o.Params,
+			Key:    o.Key,
+			Runs:   o.Runs,
+			Result: o.Result,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lrsweep: %s: %d cells (%d cached, %d computed) in %.1fs (store %s, code-version %s)\n",
+		sweep, len(outs), hits, misses, time.Since(start).Seconds(), storeDir, codeVersion)
+	return nil
 }
 
 // traceFileName maps a job onto its trace file: the job index keeps names

@@ -227,6 +227,8 @@ func DefaultConfig(modulePath string) Config {
 			"internal/trickle",
 			"internal/harness",
 			"internal/trace",
+			"internal/runstore",
+			"internal/served",
 		},
 		ErrorCriticalPackages: []string{
 			"internal/crypt",
@@ -243,6 +245,8 @@ func DefaultConfig(modulePath string) Config {
 		ConcurrencyPackages: []string{
 			"internal/harness",
 			"internal/experiment",
+			"internal/runstore",
+			"internal/served",
 		},
 		TracePackages: []string{
 			"internal/trace",

@@ -1,0 +1,436 @@
+// Package runstore is a content-addressed, file-backed result store: values
+// are stored under caller-derived hex keys (see experiment.Spec.Key /
+// experiment.Cell.Key) as gzip-compressed JSON with an explicit CRC, written
+// atomically (temp file + rename) and read back with integrity checking. An
+// index file caches sizes and LRU ordering; if it is missing, truncated or
+// corrupt the store rebuilds it by scanning the value files, so the values
+// themselves are the source of truth.
+//
+// The store is the persistence layer of lrserved's "compute once, serve
+// forever" economics: the simulator is deterministic, so identical
+// (spec, seed, runs, code-version) keys always denote identical results and
+// a stored value never goes stale under its key. Eviction is therefore pure
+// capacity management (least-recently-used under a byte cap), never
+// invalidation.
+//
+// All methods are safe for concurrent use. Recency is tracked with a logical
+// access counter, not wall-clock time: the package stays inside the repo's
+// no-wallclock discipline and eviction order is deterministic for a given
+// operation sequence.
+package runstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"lrseluge/internal/detmap"
+)
+
+// valueMagic heads every value file; the trailing byte is the format
+// version. A file without it is garbage regardless of its CRC bytes.
+var valueMagic = []byte("LRRS\x01")
+
+// valueExt is the extension of value files inside the store directory.
+const valueExt = ".val"
+
+// indexName is the index file inside the store directory.
+const indexName = "index.json"
+
+// Stats is a point-in-time snapshot of store contents and traffic counters.
+type Stats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured cap (0 = unbounded).
+	MaxBytes int64 `json:"max_bytes"`
+
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts value files rejected (and removed) by the CRC or
+	// format check — each also counted as a miss.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// entry is the in-memory index record of one stored value.
+type entry struct {
+	Size int64 `json:"size"`
+	// Seq is the logical access stamp driving LRU eviction: larger = more
+	// recently used.
+	Seq uint64 `json:"seq"`
+}
+
+// indexFile is the on-disk schema of index.json.
+type indexFile struct {
+	Version int              `json:"version"`
+	Seq     uint64           `json:"seq"`
+	Entries map[string]entry `json:"entries"`
+}
+
+// Store is a content-addressed result store rooted at one directory.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]entry
+	bytes   int64
+	seq     uint64
+	stats   Stats
+}
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes caps the total size of stored values; <= 0 means unbounded.
+	// When a Put pushes the total past the cap, least-recently-used values
+	// are evicted until it fits again.
+	MaxBytes int64
+}
+
+// Open opens (or creates) a store rooted at dir. A missing, truncated or
+// corrupt index is rebuilt by scanning the value files; scan order is
+// sorted, so the rebuilt LRU order is deterministic.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		entries:  make(map[string]entry),
+	}
+	if err := s.loadIndex(); err != nil {
+		if err := s.rebuildIndex(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// loadIndex reads index.json and verifies every referenced value file still
+// exists with the recorded size; any disagreement fails the load so the
+// caller falls back to a full rebuild.
+func (s *Store) loadIndex() error {
+	buf, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return err
+	}
+	var idx indexFile
+	if err := json.Unmarshal(buf, &idx); err != nil {
+		return fmt.Errorf("runstore: corrupt index: %w", err)
+	}
+	if idx.Version != 1 || idx.Entries == nil {
+		return fmt.Errorf("runstore: index version %d unsupported", idx.Version)
+	}
+	var total int64
+	for _, key := range detmap.SortedKeys(idx.Entries) {
+		if !validKey(key) {
+			return fmt.Errorf("runstore: index references invalid key %q", key)
+		}
+		e := idx.Entries[key]
+		fi, err := os.Stat(s.valuePath(key))
+		if err != nil || fi.Size() != e.Size {
+			return fmt.Errorf("runstore: index out of sync for %s", key)
+		}
+		total += e.Size
+	}
+	s.entries = idx.Entries
+	s.bytes = total
+	s.seq = idx.Seq
+	return nil
+}
+
+// rebuildIndex reconstructs the index from the value files on disk: every
+// *.val whose name is a valid key is adopted (its CRC is checked lazily on
+// first Get), everything else is ignored. Stale temp files from interrupted
+// writes are removed.
+func (s *Store) rebuildIndex() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	s.entries = make(map[string]entry)
+	s.bytes = 0
+	s.seq = 0
+	var keys []string
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(s.dir, name)) // interrupted atomic write
+			continue
+		}
+		key, ok := strings.CutSuffix(name, valueExt)
+		if !ok || !validKey(key) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fi, err := os.Stat(s.valuePath(key))
+		if err != nil {
+			continue
+		}
+		s.seq++
+		s.entries[key] = entry{Size: fi.Size(), Seq: s.seq}
+		s.bytes += fi.Size()
+	}
+	return s.writeIndexLocked()
+}
+
+// validKey accepts lowercase-hex keys of SHA-256 length — the only keys the
+// derivation layer produces. Rejecting everything else keeps file names safe
+// and makes index/scan agreement trivial.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) valuePath(key string) string {
+	return filepath.Join(s.dir, key+valueExt)
+}
+
+// encodeValue renders the stored file bytes: magic, big-endian CRC-32 (IEEE)
+// and length of the gzip payload, then the payload (gzip-compressed JSON of
+// v). The explicit CRC makes corruption detection independent of the gzip
+// framing, so even a torn header is diagnosed as corruption, not a decode
+// error.
+func encodeValue(v any) ([]byte, error) {
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("runstore: encode value: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("runstore: compress value: %w", err)
+	}
+	buf := make([]byte, 0, len(valueMagic)+8+payload.Len())
+	buf = append(buf, valueMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload.Bytes()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	return buf, nil
+}
+
+// decodeValue verifies the container and unmarshals the payload into out.
+func decodeValue(buf []byte, out any) error {
+	if len(buf) < len(valueMagic)+8 || !bytes.Equal(buf[:len(valueMagic)], valueMagic) {
+		return fmt.Errorf("runstore: value file too short or bad magic")
+	}
+	rest := buf[len(valueMagic):]
+	wantCRC := binary.BigEndian.Uint32(rest[:4])
+	wantLen := binary.BigEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if uint32(len(payload)) != wantLen {
+		return fmt.Errorf("runstore: value payload truncated: %d bytes, header says %d", len(payload), wantLen)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return fmt.Errorf("runstore: value CRC mismatch: %08x, header says %08x", crc, wantCRC)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("runstore: decompress value: %w", err)
+	}
+	dec := json.NewDecoder(zr)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("runstore: decode value: %w", err)
+	}
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return fmt.Errorf("runstore: decompress value: %w", err)
+	}
+	return zr.Close()
+}
+
+// Put stores v under key, JSON-encoded and gzip-compressed, atomically:
+// the bytes land in a temp file first and are renamed into place, so
+// readers (and a daemon restarted after a crash) never observe a partial
+// value. Storing an existing key overwrites it and refreshes its recency.
+func (s *Store) Put(key string, v any) error {
+	if !validKey(key) {
+		return fmt.Errorf("runstore: invalid key %q", key)
+	}
+	buf, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.valuePath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if old, ok := s.entries[key]; ok {
+		s.bytes -= old.Size
+	}
+	s.seq++
+	s.entries[key] = entry{Size: int64(len(buf)), Seq: s.seq}
+	s.bytes += int64(len(buf))
+	s.stats.Puts++
+	s.evictLocked()
+	return s.writeIndexLocked()
+}
+
+// Get loads the value stored under key into out (a pointer). ok is false on
+// a clean miss. A value file that fails the magic/CRC/decode check is
+// removed — the store repairs itself by turning corruption into a miss the
+// caller recomputes — and reported in Stats.Corrupt.
+func (s *Store) Get(key string, out any) (ok bool, err error) {
+	if !validKey(key) {
+		return false, fmt.Errorf("runstore: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[key]; !exists {
+		s.stats.Misses++
+		return false, nil
+	}
+	buf, err := os.ReadFile(s.valuePath(key))
+	if err != nil {
+		// Index said present but the file is gone: treat as corruption,
+		// drop the entry and miss.
+		s.dropCorruptLocked(key)
+		return false, nil
+	}
+	if err := decodeValue(buf, out); err != nil {
+		s.dropCorruptLocked(key)
+		return false, nil
+	}
+	s.seq++
+	e := s.entries[key]
+	e.Seq = s.seq
+	s.entries[key] = e
+	s.stats.Hits++
+	return true, nil
+}
+
+// Has reports whether key is present without reading or validating the
+// value and without perturbing LRU order or hit/miss counters.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Keys returns every stored key in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return detmap.SortedKeys(s.entries)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	st.MaxBytes = s.maxBytes
+	return st
+}
+
+// dropCorruptLocked removes a value that failed validation and accounts the
+// repair: the caller sees a miss and recomputes; the bad bytes are gone.
+func (s *Store) dropCorruptLocked(key string) {
+	if e, ok := s.entries[key]; ok {
+		s.bytes -= e.Size
+		delete(s.entries, key)
+	}
+	os.Remove(s.valuePath(key))
+	s.stats.Corrupt++
+	s.stats.Misses++
+	// Index write errors here are not fatal: the index self-heals on the
+	// next successful mutation or reopen.
+	_ = s.writeIndexLocked()
+}
+
+// evictLocked enforces the byte cap by removing least-recently-used entries
+// (smallest Seq first; key order breaks ties deterministically, though Seq
+// values are unique in practice).
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	// Sorted keys first (deterministic tie-break), then stable-sort by
+	// access stamp so the least recently used come first.
+	keys := detmap.SortedKeys(s.entries)
+	sort.SliceStable(keys, func(i, j int) bool {
+		return s.entries[keys[i]].Seq < s.entries[keys[j]].Seq
+	})
+	for _, key := range keys {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		os.Remove(s.valuePath(key))
+		s.bytes -= s.entries[key].Size
+		delete(s.entries, key)
+		s.stats.Evictions++
+	}
+}
+
+// writeIndexLocked persists the index atomically. The index is a cache of
+// metadata, not the source of truth, but keeping it fresh makes reopening
+// O(1) instead of a directory scan.
+func (s *Store) writeIndexLocked() error {
+	idx := indexFile{Version: 1, Seq: s.seq, Entries: s.entries}
+	buf, err := json.Marshal(idx)
+	if err != nil {
+		return fmt.Errorf("runstore: encode index: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, indexName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package runstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tkey builds a distinct valid (64 hex char) key from an integer.
+func tkey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+type payload struct {
+	Name  string    `json:"name"`
+	Vals  []float64 `json:"vals"`
+	Count int       `json:"count"`
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetHasRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	in := payload{Name: "cell", Vals: []float64{1.5, 2.5}, Count: 3}
+	key := tkey(0)
+	if s.Has(key) {
+		t.Fatal("empty store has key")
+	}
+	var miss payload
+	if ok, err := s.Get(key, &miss); err != nil || ok {
+		t.Fatalf("get on empty store: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(key, in); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("Has false after Put")
+	}
+	var out payload
+	ok, err := s.Get(key, &out)
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Vals) != 2 || out.Vals[1] != 2.5 {
+		t.Fatalf("round trip changed value: %+v", out)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// No stray temp files after atomic writes.
+	des, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", de.Name())
+		}
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, key := range []string{"", "short", strings.Repeat("Z", 64), "../" + strings.Repeat("a", 61)} {
+		if err := s.Put(key, 1); err == nil {
+			t.Errorf("Put accepted invalid key %q", key)
+		}
+		var v int
+		if _, err := s.Get(key, &v); err == nil {
+			t.Errorf("Get accepted invalid key %q", key)
+		}
+	}
+}
+
+// TestReopenWarm: a new Store over the same directory serves the old values
+// (the daemon-restart warm-hit path).
+func TestReopenWarm(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(tkey(i), payload{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		var out payload
+		ok, err := s2.Get(tkey(i), &out)
+		if err != nil || !ok || out.Count != i {
+			t.Fatalf("key %d after reopen: ok=%v err=%v out=%+v", i, ok, err, out)
+		}
+	}
+}
+
+// TestCorruptValueIsMissAndRepaired: flipping payload bytes must fail the
+// CRC; the store turns that into a miss and deletes the bad file.
+func TestCorruptValueIsMissAndRepaired(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := tkey(0)
+	if err := s.Put(key, payload{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), key+valueExt)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get(key, &out)
+	if err != nil {
+		t.Fatalf("corrupt value returned error: %v", err)
+	}
+	if ok {
+		t.Fatal("corrupt value served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt value file not removed")
+	}
+	if s.Has(key) {
+		t.Fatal("corrupt key still indexed")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The repaired slot accepts a fresh Put.
+	if err := s.Put(key, payload{Name: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Get(key, &out); !ok || out.Name != "fresh" {
+		t.Fatalf("repaired slot: ok=%v out=%+v", ok, out)
+	}
+}
+
+// TestTruncatedValueIsMiss covers a torn write surviving as a short file.
+func TestTruncatedValueIsMiss(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := tkey(0)
+	if err := s.Put(key, payload{Name: "whole"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), key+valueExt)
+	buf, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen so the index size check does not pre-empt the CRC path; a
+	// rebuilt index adopts the file and the read detects the truncation.
+	os.Remove(filepath.Join(s.Dir(), indexName))
+	s2 := mustOpen(t, s.Dir(), Options{})
+	var out payload
+	if ok, err := s2.Get(key, &out); err != nil || ok {
+		t.Fatalf("truncated value: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestTruncatedIndexRecovery: a damaged index must not lose the values.
+func TestTruncatedIndexRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(tkey(i), payload{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idxPath := filepath.Join(dir, indexName)
+	buf, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string][]byte{
+		"truncated": buf[:len(buf)/3],
+		"garbage":   []byte("{not json"),
+		"empty":     {},
+	} {
+		if err := os.WriteFile(idxPath, mutate, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("%s index: open failed: %v", name, err)
+		}
+		for i := 0; i < 4; i++ {
+			var out payload
+			ok, err := s2.Get(tkey(i), &out)
+			if err != nil || !ok || out.Count != i {
+				t.Fatalf("%s index: key %d lost: ok=%v err=%v", name, i, ok, err)
+			}
+		}
+	}
+	// A missing index rebuilds too, and stale temp files are swept.
+	os.Remove(idxPath)
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-stale"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s3.Keys()); got != 4 {
+		t.Fatalf("rebuilt store has %d keys, want 4", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-stale")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived rebuild")
+	}
+}
+
+// TestEvictionLRU: pushing past the byte cap evicts least-recently-used
+// values first, and a Get refreshes recency.
+func TestEvictionLRU(t *testing.T) {
+	dir := t.TempDir()
+	probe := mustOpen(t, dir, Options{})
+	if err := probe.Put(tkey(0), payload{Name: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+	one := probe.Stats().Bytes
+	if one <= 0 {
+		t.Fatal("probe value has no size")
+	}
+
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 3 * one})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(tkey(i), payload{Name: "probe"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("under cap evicted: %+v", st)
+	}
+	// Touch key 0 so key 1 is now the LRU, then overflow.
+	var out payload
+	if ok, _ := s.Get(tkey(0), &out); !ok {
+		t.Fatal("touch miss")
+	}
+	if err := s.Put(tkey(3), payload{Name: "probe"}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("overflow stats %+v", st)
+	}
+	if s.Has(tkey(1)) {
+		t.Fatal("LRU key 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !s.Has(tkey(i)) {
+			t.Fatalf("key %d evicted out of LRU order", i)
+		}
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over cap %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+// TestEvictionOversizedValue: a single value larger than the cap cannot be
+// retained; the store stays under the cap rather than wedging above it.
+func TestEvictionOversizedValue(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 16})
+	if err := s.Put(tkey(0), payload{Name: strings.Repeat("x", 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("store wedged over cap: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("oversized value not evicted: %+v", st)
+	}
+}
+
+// TestOverwriteRefreshesValue: Put on an existing key replaces the value
+// without double-counting bytes.
+func TestOverwriteRefreshesValue(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := tkey(0)
+	if err := s.Put(key, payload{Name: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	b1 := s.Stats().Bytes
+	if err := s.Put(key, payload{Name: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("overwrite duplicated entry: %+v", st)
+	}
+	if st.Bytes > 2*b1 {
+		t.Fatalf("overwrite double-counted bytes: %d vs single %d", st.Bytes, b1)
+	}
+	var out payload
+	if ok, _ := s.Get(key, &out); !ok || out.Name != "v2" {
+		t.Fatalf("overwrite not visible: %+v", out)
+	}
+}
+
+// TestConcurrentHammer: many goroutines, mixed put/get/has/stats over a
+// capped store. Run under -race in check.sh; invariants checked at the end.
+func TestConcurrentHammer(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 64 * 1024})
+	const (
+		goroutines = 8
+		opsPerG    = 200
+		keySpace   = 32
+	)
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			var err error
+			defer func() { errCh <- err }()
+			for i := 0; i < opsPerG; i++ {
+				key := tkey((g*opsPerG + i*7) % keySpace)
+				switch i % 4 {
+				case 0, 1:
+					if perr := s.Put(key, payload{Name: key, Count: i}); perr != nil {
+						err = perr
+						return
+					}
+				case 2:
+					var out payload
+					ok, gerr := s.Get(key, &out)
+					if gerr != nil {
+						err = gerr
+						return
+					}
+					if ok && out.Name != key {
+						err = fmt.Errorf("key %s returned value named %s", key, out.Name)
+						return
+					}
+				case 3:
+					s.Has(key)
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("hammer left store over cap: %+v", st)
+	}
+	if st.Corrupt != 0 {
+		t.Fatalf("hammer produced corruption: %+v", st)
+	}
+	// The store must still be fully consistent: reopen and read every key.
+	s2 := mustOpen(t, s.Dir(), Options{})
+	for _, key := range s2.Keys() {
+		var out payload
+		if ok, err := s2.Get(key, &out); err != nil || !ok {
+			t.Fatalf("post-hammer reopen: key %s ok=%v err=%v", key, ok, err)
+		}
+	}
+}

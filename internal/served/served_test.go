@@ -1,0 +1,421 @@
+package served
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/runstore"
+)
+
+// newTestServer builds a server over a fresh store with an injected runner
+// (nil selects the real simulator).
+func newTestServer(t *testing.T, dir string, runner func(experiment.Spec) (experiment.AvgResult, error)) *Server {
+	t.Helper()
+	store, err := runstore.Open(dir, runstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, CodeVersion: "test-v1", Workers: 2, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func fakeRunner(calls *atomic.Int64) func(experiment.Spec) (experiment.AvgResult, error) {
+	return func(spec experiment.Spec) (experiment.AvgResult, error) {
+		calls.Add(1)
+		return experiment.AvgResult{
+			Protocol:   experiment.LRSeluge,
+			Runs:       spec.Runs,
+			Completed:  1,
+			DataPkts:   42.5,
+			LatencySec: 3.25,
+			ImagesOK:   true,
+		}, nil
+	}
+}
+
+func postSpec(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRunsPostMissThenHit is the core cache contract: the first POST
+// computes (miss), the second is served from the store (hit), and the two
+// bodies are byte-identical — the cache disposition lives only in headers.
+func TestRunsPostMissThenHit(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+	body := `{"seed": 7, "runs": 2, "image_size": 2048}`
+
+	first := postSpec(t, srv.Handler(), body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first POST: %d %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get(cacheHeader); got != "miss" {
+		t.Fatalf("first POST cache disposition %q, want miss", got)
+	}
+	// Same spec, representation changed (field order, defaults spelled out):
+	// must hit the same key.
+	second := postSpec(t, srv.Handler(), `{"image_size": 2048, "runs": 2, "protocol": "lr-seluge", "seed": 7}`)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second POST: %d %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get(cacheHeader); got != "hit" {
+		t.Fatalf("second POST cache disposition %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("hit body differs from miss body:\n%s\n%s", first.Body, second.Body)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner called %d times, want 1", calls.Load())
+	}
+	if first.Header().Get(keyHeader) == "" || first.Header().Get(keyHeader) != second.Header().Get(keyHeader) {
+		t.Fatalf("key headers disagree: %q vs %q", first.Header().Get(keyHeader), second.Header().Get(keyHeader))
+	}
+
+	var env RunEnvelope
+	if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Key != first.Header().Get(keyHeader) || env.CodeVersion != "test-v1" {
+		t.Fatalf("envelope %+v", env)
+	}
+	if env.Spec.Protocol != "lr-seluge" || env.Spec.Runs != 2 {
+		t.Fatalf("envelope spec not normalized: %+v", env.Spec)
+	}
+	if env.Result.DataPkts != 42.5 || !env.Result.ImagesOK {
+		t.Fatalf("envelope result %+v", env.Result)
+	}
+}
+
+// TestRunsPostRestartWarm reopens the store under a new server instance —
+// the daemon-restart path — and expects a warm hit with no recompute.
+func TestRunsPostRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	body := `{"seed": 3, "image_size": 4096}`
+
+	first := postSpec(t, newTestServer(t, dir, fakeRunner(&calls)).Handler(), body)
+	if first.Code != http.StatusOK || first.Header().Get(cacheHeader) != "miss" {
+		t.Fatalf("cold POST: %d %s", first.Code, first.Header().Get(cacheHeader))
+	}
+
+	second := postSpec(t, newTestServer(t, dir, fakeRunner(&calls)).Handler(), body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("warm POST: %d %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get(cacheHeader); got != "hit" {
+		t.Fatalf("restarted server disposition %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("restart changed response bytes")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner called %d times across restart, want 1", calls.Load())
+	}
+}
+
+// TestRunsPostCoalesces hammers one spec with concurrent POSTs while the
+// runner is gated: exactly one compute happens, everyone gets the same body.
+func TestRunsPostCoalesces(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	runner := func(spec experiment.Spec) (experiment.AvgResult, error) {
+		calls.Add(1)
+		<-gate // hold the leader until every follower has piled in
+		return experiment.AvgResult{Protocol: experiment.Seluge, Runs: spec.Runs, Completed: 1}, nil
+	}
+	srv := newTestServer(t, t.TempDir(), runner)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	dispositions := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+				strings.NewReader(`{"seed": 99, "runs": 3}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			bodies[i] = buf.Bytes()
+			dispositions[i] = resp.Header.Get(cacheHeader)
+		}(i)
+	}
+	// Wait until the leader is inside the runner, give followers a moment to
+	// latch onto the flight, then release.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("runner called %d times under concurrency, want 1", calls.Load())
+	}
+	var miss, shared int
+	for i := 0; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs", i)
+		}
+		switch dispositions[i] {
+		case "miss":
+			miss++
+		case "coalesced", "hit":
+			shared++
+		default:
+			t.Fatalf("client %d disposition %q", i, dispositions[i])
+		}
+	}
+	if miss != 1 || shared != clients-1 {
+		t.Fatalf("dispositions: %d miss, %d shared (want 1, %d)", miss, shared, clients-1)
+	}
+}
+
+// TestRunsPostRejectsBadSpecs: malformed bodies must 400 without computing
+// or caching anything.
+func TestRunsPostRejectsBadSpecs(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+	for _, body := range []string{
+		`{"protcol": "seluge"}`,         // unknown field
+		`{"seed": 1}{"seed": 2}`,        // trailing document
+		`{"loss_p": 2.0}`,               // invalid value
+		`{"protocol": "zigbee"}`,        // unknown protocol
+		`not json`,                      // not JSON
+		`{"grid": {"rows":0,"cols":4}}`, // bad grid
+	} {
+		rec := postSpec(t, srv.Handler(), body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: got %d, want 400", body, rec.Code)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("runner called %d times for invalid specs", calls.Load())
+	}
+	if st := srv.cfg.Store.Stats(); st.Entries != 0 {
+		t.Fatalf("invalid specs cached: %+v", st)
+	}
+}
+
+// TestRunsGetByKey covers the direct-lookup endpoint: 400 on a malformed
+// key, 404 when absent, and the exact POST body once stored.
+func TestRunsGetByKey(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+
+	if rec := get(t, srv.Handler(), "/v1/runs/not-a-key"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed key: %d", rec.Code)
+	}
+	absent := fmt.Sprintf("%064x", 0xdead)
+	if rec := get(t, srv.Handler(), "/v1/runs/"+absent); rec.Code != http.StatusNotFound {
+		t.Fatalf("absent key: %d", rec.Code)
+	}
+
+	posted := postSpec(t, srv.Handler(), `{"seed": 11}`)
+	key := posted.Header().Get(keyHeader)
+	got := get(t, srv.Handler(), "/v1/runs/"+key)
+	if got.Code != http.StatusOK {
+		t.Fatalf("GET stored key: %d %s", got.Code, got.Body)
+	}
+	if !bytes.Equal(got.Body.Bytes(), posted.Body.Bytes()) {
+		t.Fatal("GET body differs from POST body")
+	}
+}
+
+// TestSweepsEndpoint runs the quick smoke sweep twice through the real
+// simulator: all misses cold, all hits warm, identical per-cell results.
+func TestSweepsEndpoint(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), nil)
+
+	cold := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=1")
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold sweep: %d %s", cold.Code, cold.Body)
+	}
+	var coldResp SweepResponse
+	if err := json.Unmarshal(cold.Body.Bytes(), &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if coldResp.Hits != 0 || coldResp.Misses != len(coldResp.Cells) || len(coldResp.Cells) == 0 {
+		t.Fatalf("cold sweep hits=%d misses=%d cells=%d", coldResp.Hits, coldResp.Misses, len(coldResp.Cells))
+	}
+	for i, c := range coldResp.Cells {
+		if c.Cached {
+			t.Fatalf("cold cell %d marked cached", i)
+		}
+		if !c.Result.ImagesOK {
+			t.Fatalf("cell %d (%s) image verification failed: %+v", i, c.Name, c.Result)
+		}
+	}
+
+	warm := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=1")
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm sweep: %d %s", warm.Code, warm.Body)
+	}
+	var warmResp SweepResponse
+	if err := json.Unmarshal(warm.Body.Bytes(), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	if warmResp.Hits != len(warmResp.Cells) || warmResp.Misses != 0 {
+		t.Fatalf("warm sweep hits=%d misses=%d", warmResp.Hits, warmResp.Misses)
+	}
+	for i := range warmResp.Cells {
+		if !warmResp.Cells[i].Cached {
+			t.Fatalf("warm cell %d not marked cached", i)
+		}
+		if warmResp.Cells[i].Result != coldResp.Cells[i].Result {
+			t.Fatalf("cell %d result changed warm vs cold:\n%+v\n%+v", i, warmResp.Cells[i].Result, coldResp.Cells[i].Result)
+		}
+	}
+
+	// Different seed must be a fresh set of cells, not warm hits.
+	other := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=2")
+	var otherResp SweepResponse
+	if err := json.Unmarshal(other.Body.Bytes(), &otherResp); err != nil {
+		t.Fatal(err)
+	}
+	if otherResp.Hits != 0 {
+		t.Fatalf("different seed reused cells: %+v", otherResp)
+	}
+
+	if rec := get(t, srv.Handler(), "/v1/sweeps/no-such-sweep"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown sweep: %d", rec.Code)
+	}
+	if rec := get(t, srv.Handler(), "/v1/sweeps/smoke?runs=banana"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad runs param: %d", rec.Code)
+	}
+}
+
+// TestHealthzAndNotFound covers the probe and the metered catch-all.
+func TestHealthzAndNotFound(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), fakeRunner(new(atomic.Int64)))
+	rec := get(t, srv.Handler(), "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok":true`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
+	}
+	if rec := get(t, srv.Handler(), "/v2/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("catch-all: %d", rec.Code)
+	}
+}
+
+// TestMetricsEndpoint drives some traffic and checks both renderings.
+func TestMetricsEndpoint(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+	postSpec(t, srv.Handler(), `{"seed": 1}`)
+	postSpec(t, srv.Handler(), `{"seed": 1}`)
+	postSpec(t, srv.Handler(), `{"bogus": 1}`)
+	get(t, srv.Handler(), "/healthz")
+
+	rec := get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, rec.Body)
+	}
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.Computes != 1 {
+		t.Fatalf("cache counters %+v", snap.Cache)
+	}
+	ep := snap.Endpoints[epRunsPost]
+	if ep.Count != 3 || ep.RequestsByCode["200"] != 2 || ep.RequestsByCode["400"] != 1 {
+		t.Fatalf("runs_post endpoint %+v", ep)
+	}
+	if ep.P99Sec < ep.P50Sec || ep.SumSec < 0 {
+		t.Fatalf("histogram quantiles %+v", ep)
+	}
+	if snap.Store.Entries != 1 || snap.Store.Puts != 1 {
+		t.Fatalf("store stats %+v", snap.Store)
+	}
+
+	prom := get(t, srv.Handler(), "/metrics?format=prometheus")
+	text := prom.Body.String()
+	for _, line := range []string{
+		`lrserved_requests_total{endpoint="runs_post",code="200"} 2`,
+		`lrserved_requests_total{endpoint="runs_post",code="400"} 1`,
+		`lrserved_request_seconds_count{endpoint="runs_post"} 3`,
+		`lrserved_request_seconds_bucket{endpoint="healthz",le="+Inf"} 1`,
+		"lrserved_cache_hits_total 1",
+		"lrserved_cache_misses_total 1",
+		"lrserved_store_entries 1",
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("prometheus output missing %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestRunnerErrorIs500AndNotCached: a failing compute must surface as a 500
+// and leave nothing behind, so a later request retries.
+func TestRunnerErrorIs500AndNotCached(t *testing.T) {
+	fail := true
+	runner := func(spec experiment.Spec) (experiment.AvgResult, error) {
+		if fail {
+			return experiment.AvgResult{}, fmt.Errorf("injected failure")
+		}
+		return experiment.AvgResult{Completed: 1}, nil
+	}
+	srv := newTestServer(t, t.TempDir(), runner)
+	if rec := postSpec(t, srv.Handler(), `{"seed": 5}`); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failing compute: %d", rec.Code)
+	}
+	fail = false
+	rec := postSpec(t, srv.Handler(), `{"seed": 5}`)
+	if rec.Code != http.StatusOK || rec.Header().Get(cacheHeader) != "miss" {
+		t.Fatalf("retry after failure: %d %s", rec.Code, rec.Header().Get(cacheHeader))
+	}
+}
+
+// TestRunsPostRealSimulator exercises the default runner end to end on a
+// tiny one-hop spec.
+func TestRunsPostRealSimulator(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), nil)
+	rec := postSpec(t, srv.Handler(), `{"protocol": "seluge", "image_size": 2048, "receivers": 2, "seed": 1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("real run: %d %s", rec.Code, rec.Body)
+	}
+	var env RunEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Result.Completed != 1 || !env.Result.ImagesOK {
+		t.Fatalf("real run result %+v", env.Result)
+	}
+	if rec2 := postSpec(t, srv.Handler(), `{"protocol": "seluge", "image_size": 2048, "receivers": 2, "seed": 1}`); rec2.Header().Get(cacheHeader) != "hit" ||
+		!bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Fatal("real-simulator rerun not served byte-identically from cache")
+	}
+}

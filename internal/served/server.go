@@ -1,0 +1,402 @@
+// Package served is the lrserved result-serving daemon: a stdlib-only HTTP
+// server in front of a content-addressed runstore. The simulator is
+// deterministic, so a run key — SHA-256 of the canonical scenario spec plus
+// the code version (experiment.Spec.Key) — fully identifies its averaged
+// result, and the daemon's economics follow: compute a cell once, serve it
+// from the store forever.
+//
+// Endpoints:
+//
+//	POST /v1/runs          run (or serve) the spec in the request body
+//	GET  /v1/runs/{key}    fetch a stored result by its content key
+//	GET  /v1/sweeps/{name} run a catalog sweep incrementally, per-cell cached
+//	GET  /healthz          liveness probe
+//	GET  /metrics          counters + latency histograms (JSON or Prometheus)
+//
+// Concurrent POSTs of the same spec are deduplicated through an in-flight
+// table (singleflight): the first request computes, the rest block on its
+// completion and share the result. Responses carry the cache disposition in
+// the X-Lrserved-Cache header — never in the body, so a miss and the hits
+// that follow it return byte-identical bodies.
+//
+// The package deliberately stops at http.Handler; listening, graceful
+// shutdown and flag parsing live in cmd/lrserved.
+package served
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/harness"
+	"lrseluge/internal/runstore"
+)
+
+// cacheHeader reports how a response body was obtained: "hit" (served from
+// the store), "miss" (computed by this request), or "coalesced" (another
+// in-flight request computed it and this one shared the result).
+const cacheHeader = "X-Lrserved-Cache"
+
+// keyHeader carries the content-addressed run key of the response.
+const keyHeader = "X-Lrserved-Key"
+
+// maxSpecBytes bounds POST /v1/runs request bodies; canonical specs are a
+// few hundred bytes, so 1 MiB is generous without inviting abuse.
+const maxSpecBytes = 1 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the backing result store (required).
+	Store *runstore.Store
+	// CodeVersion stamps every derived key; it must change whenever the
+	// simulator's observable behavior does (default "dev").
+	CodeVersion string
+	// Workers is the compute pool width per request; <= 0 means GOMAXPROCS.
+	Workers int
+	// Runner computes a normalized spec's averaged result. Nil selects the
+	// real simulator (experiment.RunAvgParallel); tests inject counters and
+	// failures here.
+	Runner func(experiment.Spec) (experiment.AvgResult, error)
+}
+
+// RunEnvelope is the response body of POST /v1/runs and GET /v1/runs/{key},
+// and the stored value under a run key: the key itself, the code version
+// that computed it, the fully-normalized spec, and the averaged result.
+type RunEnvelope struct {
+	Key         string               `json:"key"`
+	CodeVersion string               `json:"code_version"`
+	Spec        experiment.Spec      `json:"spec"`
+	Result      experiment.AvgResult `json:"result"`
+}
+
+// flight is one in-progress computation other requests can latch onto.
+// env/err are written exactly once, before done is closed.
+type flight struct {
+	done chan struct{}
+	env  RunEnvelope
+	err  error
+}
+
+// Server is the lrserved HTTP surface. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	handler http.Handler
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// New validates cfg and builds the route table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("served: Config.Store is required")
+	}
+	if cfg.CodeVersion == "" {
+		cfg.CodeVersion = "dev"
+	}
+	if cfg.Runner == nil {
+		workers := cfg.Workers
+		cfg.Runner = func(spec experiment.Spec) (experiment.AvgResult, error) {
+			sc, err := spec.Scenario()
+			if err != nil {
+				return experiment.AvgResult{}, err
+			}
+			runs := spec.Runs
+			if runs < 1 {
+				runs = 1
+			}
+			return experiment.RunAvgParallel(sc, runs, workers)
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		inflight: make(map[string]*flight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.instrument(epRunsPost, s.handleRunsPost))
+	mux.HandleFunc("GET /v1/runs/{key}", s.instrument(epRunsGet, s.handleRunsGet))
+	mux.HandleFunc("GET /v1/sweeps/{name}", s.instrument(epSweeps, s.handleSweeps))
+	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	mux.HandleFunc("/", s.instrument(epOther, s.handleNotFound))
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the mounted route table.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns a snapshot of the server's meters merged with store stats.
+func (s *Server) Metrics() Snapshot {
+	return s.metrics.snapshot(s.cfg.Store.Stats())
+}
+
+// statusWriter records the status code a handler committed to.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with in-flight tracking, status capture and
+// latency observation under the endpoint's label.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.begin()
+		//lrlint:ignore no-wallclock request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		//lrlint:ignore no-wallclock request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
+		s.metrics.end(endpoint, sw.code, time.Since(start).Seconds())
+	}
+}
+
+// handleRunsPost serves POST /v1/runs: decode and normalize the spec, derive
+// its key, serve from the store on a hit, otherwise compute through the
+// singleflight table and store the result.
+func (s *Server) handleRunsPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	spec, err := experiment.DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := norm.Key(s.cfg.CodeVersion)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var env RunEnvelope
+	ok, err := s.cfg.Store.Get(key, &env)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if ok {
+		s.metrics.cacheHit()
+		writeEnvelope(w, env, "hit")
+		return
+	}
+
+	env, disposition, err := s.compute(key, norm)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeEnvelope(w, env, disposition)
+}
+
+// compute resolves a key through the singleflight table: the first caller
+// becomes the leader and computes; latecomers block on the leader's flight
+// and share its outcome.
+func (s *Server) compute(key string, norm experiment.Spec) (RunEnvelope, string, error) {
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		s.metrics.cacheCoalesced()
+		return f.env, "coalesced", f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	// Double-check the store: a previous leader may have completed between
+	// this request's miss and its registration above.
+	var env RunEnvelope
+	if ok, err := s.cfg.Store.Get(key, &env); err == nil && ok {
+		s.metrics.cacheHit()
+		f.env = env
+		return env, "hit", nil
+	}
+
+	s.metrics.cacheMiss()
+	res, err := s.cfg.Runner(norm)
+	if err != nil {
+		f.err = fmt.Errorf("served: compute %s: %w", key, err)
+		return RunEnvelope{}, "", f.err
+	}
+	env = RunEnvelope{Key: key, CodeVersion: s.cfg.CodeVersion, Spec: norm, Result: res}
+	if err := s.cfg.Store.Put(key, env); err != nil {
+		f.err = err
+		return RunEnvelope{}, "", err
+	}
+	s.metrics.computeDone()
+	f.env = env
+	return env, "miss", nil
+}
+
+// handleRunsGet serves GET /v1/runs/{key}: a pure store lookup, no compute.
+func (s *Server) handleRunsGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var env RunEnvelope
+	ok, err := s.cfg.Store.Get(key, &env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no result stored under %s", key))
+		return
+	}
+	writeEnvelope(w, env, "hit")
+}
+
+// SweepResponse is the body of GET /v1/sweeps/{name}.
+type SweepResponse struct {
+	Sweep       string        `json:"sweep"`
+	CodeVersion string        `json:"code_version"`
+	Runs        int           `json:"runs"`
+	Seed        int64         `json:"seed"`
+	Quick       bool          `json:"quick"`
+	Hits        int           `json:"hits"`
+	Misses      int           `json:"misses"`
+	Cells       []CellOutcome `json:"cells"`
+}
+
+// handleSweeps serves GET /v1/sweeps/{name}?runs=&seed=&quick=: the catalog
+// sweep runs incrementally, consulting the store per cell and computing only
+// the misses.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec := experiment.SweepSpec{Runs: 1, Seed: 1}
+	q := r.URL.Query()
+	if v := q.Get("runs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("runs: %v", err))
+			return
+		}
+		spec.Runs = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed: %v", err))
+			return
+		}
+		spec.Seed = n
+	}
+	if v := q.Get("quick"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("quick: %v", err))
+			return
+		}
+		spec.Quick = b
+	}
+
+	cells, err := experiment.SweepCells(name, spec)
+	if err != nil {
+		// The catalog is fixed, so an unknown name (or invalid dims) is a
+		// client error, not a server fault.
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	outs, hits, misses, err := RunSweepCells(s.cfg.Store, cells, s.cfg.CodeVersion, harness.Config{Workers: s.cfg.Workers})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.addCache(int64(hits), int64(misses), int64(misses))
+	writeJSON(w, http.StatusOK, SweepResponse{
+		Sweep:       name,
+		CodeVersion: s.cfg.CodeVersion,
+		Runs:        spec.Runs,
+		Seed:        spec.Seed,
+		Quick:       spec.Quick,
+		Hits:        hits,
+		Misses:      misses,
+		Cells:       outs,
+	})
+}
+
+// handleHealthz serves the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":           true,
+		"code_version": s.cfg.CodeVersion,
+	})
+}
+
+// handleMetrics serves the meters as JSON by default, or in the Prometheus
+// text exposition format when ?format=prometheus or the Accept header asks
+// for text/plain.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	wantProm := r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain")
+	if wantProm {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.WriteHeader(http.StatusOK)
+		s.metrics.writeProm(w, s.cfg.Store.Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cfg.Store.Stats()))
+}
+
+// handleNotFound is the metered catch-all for unrouted paths.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+}
+
+// writeEnvelope writes a result envelope with its cache disposition in the
+// headers. The body is a pure function of the envelope, so hit, miss and
+// coalesced responses for one key are byte-identical.
+func writeEnvelope(w http.ResponseWriter, env RunEnvelope, disposition string) {
+	w.Header().Set(cacheHeader, disposition)
+	w.Header().Set(keyHeader, env.Key)
+	writeJSON(w, http.StatusOK, env)
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// writeJSON marshals v and commits the response. Marshaling before
+// WriteHeader means an encoding failure still yields a well-formed 500
+// instead of a half-written 200.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}

@@ -1,0 +1,114 @@
+package served
+
+import (
+	"fmt"
+
+	"lrseluge/internal/experiment"
+	"lrseluge/internal/harness"
+	"lrseluge/internal/runstore"
+)
+
+// CellOutcome is one sweep cell's result plus its cache provenance. The
+// Cached flag is the only field that differs between a cold and a warm pass
+// over the same sweep; callers that need byte-identical output across passes
+// (lrsweep -store) must strip it before serializing.
+type CellOutcome struct {
+	Sweep  string               `json:"sweep"`
+	Index  int                  `json:"index"`
+	Name   string               `json:"name"`
+	Proto  string               `json:"proto"`
+	Params []harness.Param      `json:"params,omitempty"`
+	Key    string               `json:"key"`
+	Cached bool                 `json:"cached"`
+	Runs   int                  `json:"runs"`
+	Result experiment.AvgResult `json:"result"`
+}
+
+// cellEnvelope is the stored value of one sweep cell. The descriptive fields
+// make a store directory self-explaining (lrtrace or a human can read what a
+// key holds); only Result is served back.
+type cellEnvelope struct {
+	Key         string               `json:"key"`
+	CodeVersion string               `json:"code_version"`
+	Sweep       string               `json:"sweep"`
+	Index       int                  `json:"index"`
+	Entry       string               `json:"entry"`
+	Result      experiment.AvgResult `json:"result"`
+}
+
+// RunSweepCells resolves every cell against the store and computes only the
+// misses — the incremental-sweep core shared by the daemon's GET /v1/sweeps
+// handler and lrsweep's -store mode. Missing cells are batched into a single
+// experiment.RunGrid call so they parallelize across cfg.Workers exactly as
+// a from-scratch sweep would; each computed result is stored before
+// returning. A nil store degrades to computing everything.
+//
+// Outcomes are returned in cell order. hits+misses == len(cells).
+func RunSweepCells(store *runstore.Store, cells []experiment.Cell, codeVersion string, cfg harness.Config) (outs []CellOutcome, hits, misses int, err error) {
+	outs = make([]CellOutcome, len(cells))
+	var missing []int
+	for i, c := range cells {
+		key := c.Key(codeVersion)
+		outs[i] = CellOutcome{
+			Sweep:  c.Sweep,
+			Index:  c.Index,
+			Name:   c.Entry.Name,
+			Proto:  c.Entry.Scenario.Protocol.String(),
+			Params: c.Entry.Params,
+			Key:    key,
+			Runs:   c.Entry.Runs,
+		}
+		if store != nil {
+			var env cellEnvelope
+			if ok, err := store.Get(key, &env); err != nil {
+				return nil, 0, 0, err
+			} else if ok {
+				outs[i].Cached = true
+				outs[i].Result = env.Result
+				hits++
+				continue
+			}
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		return outs, hits, 0, nil
+	}
+
+	entries := make([]experiment.GridEntry, len(missing))
+	for j, i := range missing {
+		entries[j] = cells[i].Entry
+	}
+	results, err := experiment.RunGrid(cells[missing[0]].Sweep, entries, cfg)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("served: sweep compute: %w", err)
+	}
+	for j, i := range missing {
+		outs[i].Result = results[j]
+		misses++
+		if store != nil {
+			env := cellEnvelope{
+				Key:         outs[i].Key,
+				CodeVersion: codeVersion,
+				Sweep:       outs[i].Sweep,
+				Index:       outs[i].Index,
+				Entry:       outs[i].Name,
+				Result:      results[j],
+			}
+			if err := store.Put(outs[i].Key, env); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
+	return outs, hits, misses, nil
+}
+
+// RunSweep expands a named catalog sweep and runs it incrementally against
+// the store. This is the one-call form used by lrsweep -store.
+func RunSweep(store *runstore.Store, name string, spec experiment.SweepSpec, codeVersion string, cfg harness.Config) ([]CellOutcome, int, int, error) {
+	cells, err := experiment.SweepCells(name, spec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return RunSweepCells(store, cells, codeVersion, cfg)
+}

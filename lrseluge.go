@@ -46,6 +46,7 @@ import (
 	"lrseluge/internal/fault"
 	"lrseluge/internal/image"
 	"lrseluge/internal/radio"
+	"lrseluge/internal/runstore"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
 	"lrseluge/internal/trace"
@@ -296,4 +297,32 @@ type UpgradeResult = experiment.UpgradeResult
 // signature (bound through the puzzle key chain) verifies.
 func VersionUpgrade(params Params, imageSize, receivers int, lossP float64, seed int64) (UpgradeResult, error) {
 	return experiment.VersionUpgrade(params, imageSize, receivers, lossP, seed)
+}
+
+// --- Result serving: content-addressed run store (DESIGN.md §13) ---
+
+// RunSpec is the serializable description of one averaged experiment — the
+// request body of lrserved's POST /v1/runs and the input of
+// content-addressed run keys. Determinism makes a spec's key a complete
+// identity for its result.
+type RunSpec = experiment.Spec
+
+// TopoGridSpec is RunSpec's serializable grid-topology form.
+type TopoGridSpec = experiment.GridSpec
+
+// DecodeRunSpec parses a RunSpec from JSON, rejecting unknown fields.
+func DecodeRunSpec(data []byte) (RunSpec, error) { return experiment.DecodeSpec(data) }
+
+// RunStore is a content-addressed, file-backed store of averaged results:
+// CRC-checked gzip values written atomically, a self-healing index, and
+// LRU eviction under an optional byte cap. It backs the lrserved daemon
+// and lrsweep's -store incremental mode.
+type RunStore = runstore.Store
+
+// RunStoreOptions tunes a RunStore.
+type RunStoreOptions = runstore.Options
+
+// OpenRunStore opens (or creates) a run store rooted at dir.
+func OpenRunStore(dir string, opts RunStoreOptions) (*RunStore, error) {
+	return runstore.Open(dir, opts)
 }

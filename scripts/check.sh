@@ -12,7 +12,12 @@
 # byte-equal to the untraced golden, per-run trace directories must be
 # worker-invariant, lrtrace must reproduce its committed summary golden on
 # a churn-fault run, and the tracer overhead bench (BENCH_trace.json) must
-# keep the disabled-tracer cost under 2%.
+# keep the disabled-tracer cost under 2%. The result-serving gates: the
+# lrserved smoke (miss -> hit -> restart -> warm hit over real HTTP, bodies
+# byte-identical), the lrsweep incremental-store rerun (warm pass all-cached
+# and byte-identical to the cold pass), and the lrserved load bench
+# (BENCH_served.json), whose cache-hit p99 must sit at least 100x below the
+# cold-miss compute time.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -124,5 +129,25 @@ echo "==> lrsweep tracebench (tracer overhead -> BENCH_trace.json, disabled over
 go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -tracebench BENCH_trace.json
 frac=$(sed -n 's/.*"disabled_overhead_frac": \([0-9.eE+-]*\),*/\1/p' BENCH_trace.json)
 awk -v f="$frac" 'BEGIN { if (f == "" || f >= 0.02) { print "disabled_overhead_frac gate failed: " f; exit 1 } }'
+
+echo "==> lrserved smoke (ephemeral port: miss -> hit -> restart -> warm hit, byte-identical)"
+go run ./cmd/lrserved -smoke
+
+echo "==> lrsweep incremental store (cold vs warm cell JSONL byte-identical, warm all-cached)"
+go run ./cmd/lrsweep -sweep smoke -quick -runs 2 -seed 1 -store "$tmpdir/rs" -code-version check \
+    -o "$tmpdir/cells_cold.jsonl"
+go run ./cmd/lrsweep -sweep smoke -quick -runs 2 -seed 1 -store "$tmpdir/rs" -code-version check \
+    -o "$tmpdir/cells_warm.jsonl" 2> "$tmpdir/cells_warm.err"
+cmp "$tmpdir/cells_cold.jsonl" "$tmpdir/cells_warm.jsonl"
+grep -q '0 computed' "$tmpdir/cells_warm.err"
+
+echo "==> lrserved selfbench (cold-miss vs hit latency -> BENCH_served.json, hit p99 >= 100x below cold)"
+go run ./cmd/lrserved -selfbench BENCH_served.json
+ratio=$(sed -n 's/.*"cold_to_hit_p99": \([0-9.eE+-]*\),*/\1/p' BENCH_served.json)
+ident=$(sed -n 's/.*"identical": \([a-z]*\).*/\1/p' BENCH_served.json)
+awk -v r="$ratio" -v id="$ident" 'BEGIN {
+    if (r == "" || r + 0 < 100) { print "served gate: cold_to_hit_p99 " r " < 100"; exit 1 }
+    if (id != "true") { print "served gate: hit bodies not byte-identical"; exit 1 }
+}'
 
 echo "OK"
