@@ -83,6 +83,7 @@ func (p *FreshPolicy) OnDataOverheard(u, _ int) {
 	if fu == nil {
 		return
 	}
+	//lrlint:ignore scan-complexity owed holds only in-range requesters that SNACKed; trip count is node degree, not network size
 	for id := range fu.owed {
 		fu.owed[id]--
 		if fu.owed[id] <= 0 {
@@ -103,6 +104,7 @@ func (p *FreshPolicy) Next() (int, int, bool) {
 	idx := fu.next
 	fu.next = (fu.next + 1) % p.sizeOf(u)
 	p.nextIdx[u] = fu.next
+	//lrlint:ignore scan-complexity owed holds only in-range requesters that SNACKed; trip count is node degree, not network size
 	for id := range fu.owed {
 		fu.owed[id]--
 		if fu.owed[id] <= 0 {

@@ -39,6 +39,8 @@ type PublicKey struct {
 
 // Generate creates a fresh P-256 key pair from the given entropy source. A
 // nil source falls back to crypto/rand.
+//
+//lrlint:effects(rand) fresh entropy is the production key path; simulations use GenerateDeterministic
 func Generate(entropy io.Reader) (*KeyPair, error) {
 	if entropy == nil {
 		entropy = rand.Reader
@@ -78,6 +80,8 @@ func (kp *KeyPair) Public() PublicKey { return PublicKey{key: &kp.priv.PublicKey
 // pairs yield the same signature for the same message every time (the ECDSA
 // nonce is derived from key and digest, RFC 6979 style); randomized pairs
 // draw the nonce from crypto/rand.
+//
+//lrlint:effects(rand) randomized nonces are the production signing path; deterministic pairs never reach crypto/rand
 func (kp *KeyPair) Sign(msg []byte) ([]byte, error) {
 	digest := sha256.Sum256(msg)
 	var sig []byte

@@ -537,6 +537,7 @@ func (n *Node) maybeStartRequest() {
 
 func (n *Node) haveServer() bool {
 	mine := n.handler.CompleteUnits()
+	//lrlint:ignore scan-complexity servers holds only in-range advertisers; trip count is node degree, not network size
 	for _, units := range n.servers {
 		if units > mine {
 			return true
@@ -568,6 +569,7 @@ func (n *Node) sendSNACK() {
 	// Walking the server map in sorted-ID order keeps the candidate list,
 	// and therefore the rng draw below, identical across runs.
 	candidates := make([]packet.NodeID, 0, len(n.servers))
+	//lrlint:ignore scan-complexity servers holds only in-range advertisers; trip count is node degree, not network size
 	for _, id := range detmap.SortedKeys(n.servers) {
 		if n.servers[id] > mine {
 			candidates = append(candidates, id)

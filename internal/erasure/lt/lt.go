@@ -251,6 +251,7 @@ func (d *Decoder) peel() {
 				continue
 			}
 			var idx int
+			//lrlint:ignore effect-purity the map has exactly one entry here; the loop extracts its only key
 			for n := range ps.neighbors {
 				idx = n
 			}

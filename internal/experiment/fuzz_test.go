@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSpec fuzzes the spec wire format with the round-trip property
+// the content-addressed store depends on: for any input DecodeSpec accepts
+// and Normalize validates, Normalize -> CanonicalJSON -> DecodeSpec ->
+// Normalize -> CanonicalJSON is the identity, and the derived key is stable
+// across the trip. A canonical form that fails to re-decode — or drifts on a
+// second pass — would cache results under keys their own envelopes cannot
+// reproduce. Inputs the decoder or validator rejects must error cleanly;
+// specs are client input, so a panic here is a served 500 on a typo.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"protocol":"seluge","runs":2}`))
+	f.Add([]byte(`{"seed":42,"protocol":"lr-seluge","loss_p":0.1,"policy":"union"}`))
+	f.Add([]byte(`{"schema":1,"protocol":"deluge","receivers":5,"image_kb":4,"quick":true}`))
+	f.Add([]byte(`{"loss_model":"gilbert-elliott","loss_p":0.3,"burst_len":4.5}`))
+	f.Add([]byte(`{"topology":"grid","density":"tight","receivers":224}`))
+	f.Add([]byte(`{"protcol":"typo"}`))
+	f.Add([]byte(`{"runs":-1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		norm, err := s.Normalize()
+		if err != nil {
+			return // invalid spec, cleanly refused: fine
+		}
+		c1, err := norm.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonicalize normalized spec: %v", err)
+		}
+		back, err := DecodeSpec(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-decode: %v\n%s", err, c1)
+		}
+		norm2, err := back.Normalize()
+		if err != nil {
+			t.Fatalf("canonical form does not re-normalize: %v\n%s", err, c1)
+		}
+		c2, err := norm2.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("re-canonicalize: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form drifted on round trip:\n%s\n%s", c1, c2)
+		}
+		k1, err := norm.Key("fuzz")
+		if err != nil {
+			t.Fatalf("key normalized spec: %v", err)
+		}
+		k2, err := norm2.Key("fuzz")
+		if err != nil {
+			t.Fatalf("key round-tripped spec: %v", err)
+		}
+		if k1 != k2 {
+			t.Fatalf("key drifted on round trip: %s vs %s", k1, k2)
+		}
+	})
+}

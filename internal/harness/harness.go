@@ -8,7 +8,7 @@
 // wall clock, and only for orchestration concerns: per-run timeouts and
 // progress reporting. Simulated time stays virtual inside internal/sim; a
 // run's *results* never depend on real time. Every wall-clock read below
-// carries an //lrlint:ignore no-wallclock directive documenting this
+// carries an //lrlint:ignore effect-purity directive documenting this
 // boundary.
 //
 // Failure containment: a run that panics becomes a failed Record (with the
@@ -102,6 +102,8 @@ type Config struct {
 // flushed before returning; the first sink error aborts further sink writes
 // and is returned (job execution still completes so the returned records are
 // whole).
+//
+//lrlint:effects(spawn) worker-pool goroutines; results merge back in job order so output is schedule-independent
 func Run(jobs []Job, fn RunFunc, cfg Config, sinks ...Sink) ([]Record, error) {
 	for i := range jobs {
 		jobs[i].Index = i
@@ -169,6 +171,8 @@ func Run(jobs []Job, fn RunFunc, cfg Config, sinks ...Sink) ([]Record, error) {
 // execute runs one job with panic capture and an optional wall-clock
 // timeout. The run itself happens on a dedicated goroutine so that a
 // timed-out run can be abandoned without taking the worker down with it.
+//
+//lrlint:effects(spawn) the run goroutine lets a timed-out job be abandoned; its sole result is consumed synchronously
 func execute(job Job, fn RunFunc, timeout time.Duration) Record {
 	resCh := make(chan Record, 1)
 	go func() {
@@ -189,7 +193,7 @@ func execute(job Job, fn RunFunc, timeout time.Duration) Record {
 	if timeout <= 0 {
 		return <-resCh
 	}
-	//lrlint:ignore no-wallclock per-run timeouts are an orchestration concern; virtual time stays inside internal/sim
+	//lrlint:ignore effect-purity per-run timeouts are an orchestration concern; virtual time stays inside internal/sim
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {

@@ -22,7 +22,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	diags := []Diagnostic{
 		mkDiag("a.go", RuleAllocHot, "make in loop", 10),
 		mkDiag("a.go", RuleAllocHot, "make in loop", 42),
-		mkDiag("b.go", RuleMapRange, "map order leak", 7),
+		mkDiag("b.go", RuleEffectPurity, "map order leak", 7),
 	}
 	path := filepath.Join(t.TempDir(), "base.json")
 	if err := NewBaseline(diags).WriteFile(path); err != nil {
@@ -40,7 +40,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	moved := []Diagnostic{
 		mkDiag("a.go", RuleAllocHot, "make in loop", 99),
 		mkDiag("a.go", RuleAllocHot, "make in loop", 150),
-		mkDiag("b.go", RuleMapRange, "map order leak", 1),
+		mkDiag("b.go", RuleEffectPurity, "map order leak", 1),
 	}
 	if got := base.Subtract(moved); len(got) != 0 {
 		t.Fatalf("line movement invalidated the baseline: %v", got)

@@ -8,22 +8,27 @@
 //
 // Eleven analyzer passes run over every non-test file of the module:
 //
-//   - no-wallclock: internal/ packages must never consult the wall clock
-//     (time.Now, time.Sleep, time.After, time.Tick, timers). Protocol code
-//     runs on virtual sim.Time only; a single wall-clock read would tie run
-//     results to the host machine.
+//   - effect-purity: a summary-based interprocedural effect analysis. Every
+//     function gets an effect set over {wallclock, rand, maporder, fs, net,
+//     spawn} as a lattice fixpoint over the module flow graph (static calls,
+//     function-value references, interface dispatch) with SCC condensation
+//     for recursion. It subsumes the old pattern-scoped no-wallclock /
+//     no-global-rand / map-range passes (their per-package scopes are kept
+//     as scope findings) and additionally certifies every function reachable
+//     from the deterministic entry points (Config.EffectRoots: sim.Engine.Run
+//     and the experiment runners) free of all six effects. Justified
+//     boundaries declare their effects with //lrlint:effects(...); the
+//     declaration masks the effect for the function and its callers.
+//     See effects.go.
 //
-//   - no-global-rand: the process-global math/rand source (rand.Intn,
-//     rand.Float64, rand.Shuffle, ...) is forbidden everywhere. All
-//     randomness must flow from explicitly seeded rand.New(rand.NewSource(s))
-//     streams so a scenario seed pins every random draw.
-//
-//   - map-range-determinism: packages that schedule events or emit packets
-//     must not iterate Go maps directly — iteration order is randomized by
-//     the runtime. Loops are accepted only when a conservative structural
-//     analysis proves the body order-insensitive, or when the site carries an
-//     explicit justified directive. The blessed fix is
-//     detmap.SortedKeys (internal/detmap).
+//   - scan-complexity: classifies loop trip counts over the population
+//     lattice {const < packets < pages < neighbors < nodes} by binding
+//     collection types and producer calls (Config.PopulationTypes/Calls,
+//     //lrlint:population), interprocedurally through parameters and struct
+//     fields. O(nodes) loops reachable from the per-event roots
+//     (Config.EventRoots, //lrlint:eventroot) and O(nodes) loops nested in
+//     O(nodes) loops are findings — the static gate for the 100k-node scale
+//     work. See scancomplexity.go.
 //
 //   - unchecked-errors: in internal/crypt/... and internal/erasure/... a
 //     dropped error return means silently accepting a forged or corrupt
@@ -80,18 +85,34 @@
 //	//lrlint:ignore <rule> <reason>
 //
 // The rule must name a catalog entry and the reason is mandatory; a directive
-// missing either is itself a finding. A second directive form,
+// missing either is itself a finding. The other directive forms attach to
+// declarations (doc comment or the line immediately above):
 //
 //	//lrlint:hotpath [reason]
 //
-// attached to a function declaration marks that function an alloc-hotpath
-// root in addition to the configured ones.
+// marks a function an alloc-hotpath root in addition to the configured ones;
+//
+//	//lrlint:effects(<effect>[,<effect>...]) <reason>
+//
+// declares a function a justified effect boundary (the reason is mandatory,
+// and a declared effect the function does not actually have is an
+// unused-ignore finding);
+//
+//	//lrlint:eventroot [reason]
+//
+// marks a function a per-event root for scan-complexity; and
+//
+//	//lrlint:population <class>
+//
+// on a type declaration binds that type to a population-lattice class
+// (const, packets, pages, neighbors, nodes).
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -112,9 +133,8 @@ func (d Diagnostic) String() string {
 
 // Rule names, used in output and in //lrlint:ignore directives.
 const (
-	RuleWallclock      = "no-wallclock"
-	RuleGlobalRand     = "no-global-rand"
-	RuleMapRange       = "map-range"
+	RuleEffectPurity   = "effect-purity"
+	RuleScanComplexity = "scan-complexity"
 	RuleErrcheck       = "unchecked-error"
 	RuleTaint          = "verify-before-use"
 	RuleLockDiscipline = "lock-discipline"
@@ -128,9 +148,8 @@ const (
 
 // AllRules lists every rule name in catalog order.
 var AllRules = []string{
-	RuleWallclock,
-	RuleGlobalRand,
-	RuleMapRange,
+	RuleEffectPurity,
+	RuleScanComplexity,
 	RuleErrcheck,
 	RuleTaint,
 	RuleLockDiscipline,
@@ -186,6 +205,23 @@ type Config struct {
 	// written without the star). Everything statically reachable from a root
 	// is hot.
 	HotRoots []string
+	// EffectRoots names the deterministic entry points for effect-purity:
+	// everything reachable from them over the flow graph must be free of
+	// all six effects, up to declared //lrlint:effects boundaries.
+	EffectRoots []string
+	// EventRoots names the per-event entry points for scan-complexity:
+	// O(nodes) loops reachable from them are findings.
+	EventRoots []string
+	// PopulationTypes binds named types (module-relative "pkg/path.Type")
+	// to population classes: a map keyed by — or a slice of — a bound type
+	// is a collection of that class.
+	PopulationTypes map[string]string
+	// PopulationCalls binds producer functions to the class of their result
+	// ("internal/topo.Graph.Neighbors" -> "neighbors").
+	PopulationCalls map[string]string
+	// PopulationPropagate lists transparent wrappers whose result class is
+	// the join of their argument classes (detmap.SortedKeys).
+	PopulationPropagate []string
 	// Rules, when non-empty, restricts the run to the named rules (the
 	// directive pass always runs, so malformed directives never go dark).
 	Rules []string
@@ -274,6 +310,33 @@ func DefaultConfig(modulePath string) Config {
 			"internal/crypt/puzzle.VerifyKey",
 			"internal/crypt/merkle.Verify",
 		},
+		EffectRoots: []string{
+			"internal/sim.Engine.Run",
+			"internal/experiment.Run",
+			"internal/experiment.RunGrid",
+		},
+		EventRoots: []string{
+			"internal/radio.Network.Broadcast",
+			"internal/radio.Network.deliver",
+			"internal/fault.Engine.apply",
+			"internal/trickle.Trickle.beginInterval",
+		},
+		PopulationTypes: map[string]string{
+			"internal/packet.NodeID":  "nodes",
+			"internal/radio.Receiver": "nodes",
+			"internal/topo.Point":     "nodes",
+			"internal/topo.Link":      "neighbors",
+		},
+		PopulationCalls: map[string]string{
+			"internal/topo.Graph.NumNodes":         "nodes",
+			"internal/radio.Network.NumNodes":      "nodes",
+			"internal/radio.FaultOverlay.NumNodes": "nodes",
+			"internal/topo.Graph.Neighbors":        "neighbors",
+			"internal/radio.Network.Neighbors":     "neighbors",
+		},
+		PopulationPropagate: []string{
+			"internal/detmap.SortedKeys",
+		},
 	}
 }
 
@@ -304,10 +367,13 @@ func isInternal(pkgPath string) bool {
 // deterministic regardless of scheduling.
 func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	type pkgResult struct {
-		dirs    directiveIndex
-		markers map[*ast.FuncDecl]bool
-		raw     []Diagnostic // pre-suppression findings
-		bad     []Diagnostic // malformed directives; never suppressible
+		dirs       directiveIndex
+		markers    map[*ast.FuncDecl]bool
+		effects    map[*ast.FuncDecl]*effectDecl
+		eventRoots map[*ast.FuncDecl]bool
+		popTypes   map[*types.TypeName]popClass
+		raw        []Diagnostic // pre-suppression findings
+		bad        []Diagnostic // malformed directives; never suppressible
 	}
 	results := make([]pkgResult, len(pkgs))
 	var wg sync.WaitGroup
@@ -317,9 +383,15 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 			defer wg.Done()
 			r := &results[i]
 			r.dirs, r.bad = collectDirectives(pkg)
-			var badMarkers []Diagnostic
-			r.markers, badMarkers = collectHotMarkers(pkg)
-			r.bad = append(r.bad, badMarkers...)
+			var badDirs []Diagnostic
+			r.markers, badDirs = collectHotMarkers(pkg)
+			r.bad = append(r.bad, badDirs...)
+			r.effects, badDirs = collectEffectDecls(pkg)
+			r.bad = append(r.bad, badDirs...)
+			r.eventRoots, badDirs = collectEventRoots(pkg)
+			r.bad = append(r.bad, badDirs...)
+			r.popTypes, badDirs = collectPopDirectives(pkg)
+			r.bad = append(r.bad, badDirs...)
 			r.raw = runPackage(pkg, cfg)
 		}(i, pkg)
 	}
@@ -329,6 +401,9 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	// unique per package, so this is a disjoint union.
 	merged := make(directiveIndex)
 	markers := make(map[*ast.FuncDecl]bool)
+	effDecls := make(map[*ast.FuncDecl]*effectDecl)
+	eventRoots := make(map[*ast.FuncDecl]bool)
+	popTypes := make(map[*types.TypeName]popClass)
 	var raw, bad []Diagnostic
 	for _, r := range results {
 		for file, lines := range r.dirs {
@@ -337,17 +412,34 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		for d := range r.markers {
 			markers[d] = true
 		}
+		for d, ed := range r.effects {
+			effDecls[d] = ed
+		}
+		for d := range r.eventRoots {
+			eventRoots[d] = true
+		}
+		for tn, cls := range r.popTypes {
+			popTypes[tn] = cls
+		}
 		raw = append(raw, r.raw...)
 		bad = append(bad, r.bad...)
 	}
 
-	if cfg.ruleEnabled(RuleAllocHot) || cfg.ruleEnabled(RuleRNGProv) {
+	needIndex := cfg.ruleEnabled(RuleAllocHot) || cfg.ruleEnabled(RuleRNGProv) ||
+		cfg.ruleEnabled(RuleEffectPurity) || cfg.ruleEnabled(RuleScanComplexity)
+	if needIndex {
 		idx := buildModIndex(pkgs, cfg, markers)
 		if cfg.ruleEnabled(RuleAllocHot) {
 			raw = append(raw, checkAllocHot(idx)...)
 		}
 		if cfg.ruleEnabled(RuleRNGProv) {
 			raw = append(raw, checkProvenance(idx)...)
+		}
+		if cfg.ruleEnabled(RuleEffectPurity) {
+			raw = append(raw, checkEffects(idx, effDecls)...)
+		}
+		if cfg.ruleEnabled(RuleScanComplexity) {
+			raw = append(raw, checkScanComplexity(idx, eventRoots, popTypes)...)
 		}
 	}
 
@@ -388,15 +480,6 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 // returns raw findings (unsuppressed, unsorted, untrimmed).
 func runPackage(pkg *Package, cfg Config) []Diagnostic {
 	var raw []Diagnostic
-	if cfg.ruleEnabled(RuleWallclock) && isInternal(pkg.ImportPath) {
-		raw = append(raw, checkWallclock(pkg)...)
-	}
-	if cfg.ruleEnabled(RuleGlobalRand) {
-		raw = append(raw, checkGlobalRand(pkg)...)
-	}
-	if cfg.ruleEnabled(RuleMapRange) && cfg.inScope(pkg.ImportPath, cfg.OrderedPackages) {
-		raw = append(raw, checkMapRange(pkg)...)
-	}
 	if cfg.ruleEnabled(RuleErrcheck) && cfg.inScope(pkg.ImportPath, cfg.ErrorCriticalPackages) {
 		raw = append(raw, checkErrors(pkg)...)
 	}
@@ -471,8 +554,11 @@ func unusedIgnoreFindings(idx directiveIndex, cfg Config) []Diagnostic {
 }
 
 const (
-	directivePrefix = "//lrlint:ignore"
-	hotpathPrefix   = "//lrlint:hotpath"
+	directivePrefix  = "//lrlint:ignore"
+	hotpathPrefix    = "//lrlint:hotpath"
+	effectsPrefix    = "//lrlint:effects"
+	eventrootPrefix  = "//lrlint:eventroot"
+	populationPrefix = "//lrlint:population"
 )
 
 // collectDirectives scans every comment in the package for ignore
@@ -519,14 +605,21 @@ func collectDirectives(pkg *Package) (directiveIndex, []Diagnostic) {
 	return idx, bad
 }
 
-// collectHotMarkers scans for //lrlint:hotpath markers and resolves each to
-// the function declaration it annotates: the marker must sit in the
+// declMarker is one prefix-matched comment resolved to the function
+// declaration it annotates (decl nil when attached to nothing).
+type declMarker struct {
+	decl *ast.FuncDecl
+	c    *ast.Comment
+	pos  token.Position
+}
+
+// declMarkers scans for comments with the given prefix and resolves each to
+// the function declaration it annotates: the comment must sit in the
 // function's doc comment or on the line immediately above the declaration.
-// A marker attached to nothing is a finding — it would otherwise silently
-// root nothing.
-func collectHotMarkers(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
-	marked := make(map[*ast.FuncDecl]bool)
-	var bad []Diagnostic
+// Unattached markers come back with a nil decl so callers can report them —
+// a floating marker would otherwise silently configure nothing.
+func declMarkers(pkg *Package, prefix string) []declMarker {
+	var out []declMarker
 	for _, f := range pkg.Files {
 		// Map each declaration's doc span and start line once per file.
 		type declSpan struct {
@@ -549,15 +642,187 @@ func collectHotMarkers(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, hotpathPrefix) {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				m := declMarker{c: c, pos: pkg.Fset.Position(c.Pos())}
+				for _, ds := range decls {
+					inDoc := ds.docStart != token.NoPos && c.Pos() >= ds.docStart && c.End() <= ds.docEnd
+					if inDoc || m.pos.Line == ds.startLine-1 {
+						m.decl = ds.decl
+						break
+					}
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// collectHotMarkers resolves //lrlint:hotpath markers to the declarations
+// they root.
+func collectHotMarkers(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
+	marked := make(map[*ast.FuncDecl]bool)
+	var bad []Diagnostic
+	for _, m := range declMarkers(pkg, hotpathPrefix) {
+		if m.decl == nil {
+			bad = append(bad, Diagnostic{
+				Pos:  m.pos,
+				Rule: RuleDirective,
+				Msg:  "//lrlint:hotpath marker is not attached to a function declaration",
+			})
+			continue
+		}
+		marked[m.decl] = true
+	}
+	return marked, bad
+}
+
+// collectEffectDecls parses //lrlint:effects(e1,e2) <reason> directives.
+// The effect list and the reason are both mandatory; unknown effect names
+// and unattached directives are findings.
+func collectEffectDecls(pkg *Package) (map[*ast.FuncDecl]*effectDecl, []Diagnostic) {
+	decls := make(map[*ast.FuncDecl]*effectDecl)
+	var bad []Diagnostic
+	for _, m := range declMarkers(pkg, effectsPrefix) {
+		rest := strings.TrimPrefix(m.c.Text, effectsPrefix)
+		paren := strings.Index(rest, ")")
+		if !strings.HasPrefix(rest, "(") || paren < 0 || strings.TrimSpace(rest[paren+1:]) == "" {
+			bad = append(bad, Diagnostic{
+				Pos:  m.pos,
+				Rule: RuleDirective,
+				Msg:  "malformed directive: want //lrlint:effects(<effect>[,<effect>...]) <reason>",
+			})
+			continue
+		}
+		var mask effectSet
+		valid := true
+		for _, name := range strings.Split(rest[1:paren], ",") {
+			e, ok := effectByName[strings.TrimSpace(name)]
+			if !ok {
+				bad = append(bad, Diagnostic{
+					Pos:  m.pos,
+					Rule: RuleDirective,
+					Msg:  fmt.Sprintf("directive names unknown effect %q; effects: %s", strings.TrimSpace(name), allEffects.String()),
+				})
+				valid = false
+				break
+			}
+			mask = mask.with(e)
+		}
+		if !valid {
+			continue
+		}
+		if m.decl == nil {
+			bad = append(bad, Diagnostic{
+				Pos:  m.pos,
+				Rule: RuleDirective,
+				Msg:  "//lrlint:effects directive is not attached to a function declaration",
+			})
+			continue
+		}
+		if prev := decls[m.decl]; prev != nil {
+			prev.mask |= mask
+		} else {
+			decls[m.decl] = &effectDecl{mask: mask, pos: m.pos}
+		}
+	}
+	return decls, bad
+}
+
+// collectEventRoots resolves //lrlint:eventroot markers to the declarations
+// they root for scan-complexity.
+func collectEventRoots(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
+	roots := make(map[*ast.FuncDecl]bool)
+	var bad []Diagnostic
+	for _, m := range declMarkers(pkg, eventrootPrefix) {
+		if m.decl == nil {
+			bad = append(bad, Diagnostic{
+				Pos:  m.pos,
+				Rule: RuleDirective,
+				Msg:  "//lrlint:eventroot marker is not attached to a function declaration",
+			})
+			continue
+		}
+		roots[m.decl] = true
+	}
+	return roots, bad
+}
+
+// collectPopDirectives parses //lrlint:population <class> directives on type
+// declarations: the comment must sit in the type's doc comment (or the
+// GenDecl's) or on the line immediately above it.
+func collectPopDirectives(pkg *Package) (map[*types.TypeName]popClass, []Diagnostic) {
+	bound := make(map[*types.TypeName]popClass)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		type typeSpan struct {
+			obj       *types.TypeName
+			docStart  token.Pos
+			docEnd    token.Pos
+			startLine int
+		}
+		var specs []typeSpan
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if obj == nil {
+					continue
+				}
+				tsp := typeSpan{obj: obj, startLine: pkg.Fset.Position(gd.Pos()).Line}
+				if gd.Doc != nil {
+					tsp.docStart, tsp.docEnd = gd.Doc.Pos(), gd.Doc.End()
+				}
+				if ts.Doc != nil {
+					if tsp.docStart == token.NoPos || ts.Doc.Pos() < tsp.docStart {
+						tsp.docStart = ts.Doc.Pos()
+					}
+					if ts.Doc.End() > tsp.docEnd {
+						tsp.docEnd = ts.Doc.End()
+					}
+					tsp.startLine = pkg.Fset.Position(ts.Pos()).Line
+				}
+				specs = append(specs, tsp)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, populationPrefix) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, populationPrefix))
+				if len(fields) != 1 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  "malformed directive: want //lrlint:population <class>",
+					})
+					continue
+				}
+				cls, ok := popClassNames[fields[0]]
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: RuleDirective,
+						Msg:  fmt.Sprintf("directive names unknown population class %q; classes: const, packets, pages, neighbors, nodes", fields[0]),
+					})
+					continue
+				}
 				attached := false
-				for _, ds := range decls {
-					inDoc := ds.docStart != token.NoPos && c.Pos() >= ds.docStart && c.End() <= ds.docEnd
-					if inDoc || pos.Line == ds.startLine-1 {
-						marked[ds.decl] = true
+				for _, tsp := range specs {
+					inDoc := tsp.docStart != token.NoPos && c.Pos() >= tsp.docStart && c.End() <= tsp.docEnd
+					if inDoc || pos.Line == tsp.startLine-1 {
+						bound[tsp.obj] = cls
 						attached = true
 						break
 					}
@@ -566,13 +831,13 @@ func collectHotMarkers(pkg *Package) (map[*ast.FuncDecl]bool, []Diagnostic) {
 					bad = append(bad, Diagnostic{
 						Pos:  pos,
 						Rule: RuleDirective,
-						Msg:  "//lrlint:hotpath marker is not attached to a function declaration",
+						Msg:  "//lrlint:population directive is not attached to a type declaration",
 					})
 				}
 			}
 		}
 	}
-	return marked, bad
+	return bound, bad
 }
 
 // expandSpans propagates a directive written on (or immediately above) the

@@ -189,6 +189,111 @@ func TestProvModuleFixtures(t *testing.T) {
 	}
 }
 
+// TestEffectModuleFixtures exercises effect-purity over the mini-module
+// under testdata/src/effectmod: the pass is interprocedural by design, so
+// the whole pretend module is loaded and its experiment package stands in
+// for the real EffectRoots. The golden pins one finding per propagation path
+// (direct call, SCC, interface dispatch, reference edge, rooted maporder,
+// module-wide rand scope, stale declaration) and the silence of the declared
+// boundary.
+func TestEffectModuleFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src", "effectmod")
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cfg := DefaultConfig(modPath)
+	cfg.TrimPrefix = absRoot
+	diags := Run(pkgs, cfg)
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Rule != RuleEffectPurity && d.Rule != RuleUnusedIgnore {
+			t.Errorf("unexpected rule in effect fixture module: %s", d)
+		}
+	}
+	got := sb.String()
+	for _, want := range []string{"reachable from deterministic root", "go statement", "network I/O", "filesystem", "map iteration order"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("no finding mentions %q", want)
+		}
+	}
+	if strings.Contains(got, "Timestamp") {
+		t.Error("declared boundary still produced a finding")
+	}
+
+	golden := filepath.Join(root, "expect.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestScanModuleFixtures exercises scan-complexity over the mini-module
+// under testdata/src/scanmod: population classes flow from the config
+// binding on packet.NodeID, //lrlint:population directives, the
+// interprocedural parameter fixpoint and the struct-field fixpoint; roots
+// come from //lrlint:eventroot. The golden pins the findings; the
+// neighbors-class, constant-bound and justified loops must stay silent.
+func TestScanModuleFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src", "scanmod")
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	cfg := DefaultConfig(modPath)
+	cfg.TrimPrefix = absRoot
+	diags := Run(pkgs, cfg)
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+		if d.Rule != RuleScanComplexity {
+			t.Errorf("unexpected rule in scan fixture module: %s", d)
+		}
+	}
+	got := sb.String()
+	if !strings.Contains(got, "per-event path") {
+		t.Error("no per-event finding")
+	}
+	if !strings.Contains(got, "nested inside") {
+		t.Error("no nested-scan finding")
+	}
+
+	golden := filepath.Join(root, "expect.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // TestRealModuleClean asserts the invariant the whole PR enforces: lrlint
 // runs clean on the repository itself.
 func TestRealModuleClean(t *testing.T) {
@@ -208,7 +313,7 @@ func TestRealModuleClean(t *testing.T) {
 // line immediately above, with rule match required.
 func TestDirectiveSuppression(t *testing.T) {
 	idx := directiveIndex{
-		"f.go": {10: []directive{{rule: RuleMapRange, used: new(bool)}}},
+		"f.go": {10: []directive{{rule: RuleEffectPurity, used: new(bool)}}},
 	}
 	mk := func(line int, rule string) Diagnostic {
 		d := Diagnostic{Rule: rule}
@@ -216,13 +321,13 @@ func TestDirectiveSuppression(t *testing.T) {
 		d.Pos.Line = line
 		return d
 	}
-	if !idx.suppresses(mk(10, RuleMapRange)) {
+	if !idx.suppresses(mk(10, RuleEffectPurity)) {
 		t.Error("same-line directive did not suppress")
 	}
-	if !idx.suppresses(mk(11, RuleMapRange)) {
+	if !idx.suppresses(mk(11, RuleEffectPurity)) {
 		t.Error("line-above directive did not suppress")
 	}
-	if idx.suppresses(mk(12, RuleMapRange)) {
+	if idx.suppresses(mk(12, RuleEffectPurity)) {
 		t.Error("directive suppressed two lines below")
 	}
 	if idx.suppresses(mk(10, RuleErrcheck)) {

@@ -6,38 +6,10 @@ import (
 	"go/types"
 )
 
-// checkMapRange implements the map-range-determinism pass. In packages that
-// schedule events or emit packets, `for ... range m` over a map is flagged
-// unless orderInsensitive proves the loop body commutes across iteration
-// orders. The blessed fixes are iterating detmap.SortedKeys(m) or, for
-// loops whose insensitivity exceeds the structural analysis, an explicit
-// //lrlint:ignore map-range <reason> directive.
-func checkMapRange(pkg *Package) []Diagnostic {
-	var diags []Diagnostic
-	walkNonTest(pkg, func(_ *ast.File, n ast.Node) bool {
-		rs, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		t := pkg.Info.TypeOf(rs.X)
-		if t == nil {
-			return true
-		}
-		if _, isMap := t.Underlying().(*types.Map); !isMap {
-			return true
-		}
-		if orderInsensitive(rs, pkg.Info) {
-			return true
-		}
-		diags = append(diags, Diagnostic{
-			Pos:  pkg.Fset.Position(rs.Pos()),
-			Rule: RuleMapRange,
-			Msg:  "map iteration order is randomized; iterate detmap.SortedKeys or justify with //lrlint:ignore map-range <reason>",
-		})
-		return true
-	})
-	return diags
-}
+// This file holds the order-insensitivity proof behind the maporder effect
+// (effects.go): a map range whose body provably commutes across iteration
+// orders is not an effect at all. It survives from the retired standalone
+// map-range pass, whose per-package scope the effect-purity pass now covers.
 
 // orderInsensitive reports whether the final program state after running the
 // loop body once per map entry is provably independent of entry order. The
@@ -54,6 +26,9 @@ func checkMapRange(pkg *Package) []Diagnostic {
 //     hit a distinct location per iteration;
 //   - writes to variables declared inside the loop body (fresh per
 //     iteration);
+//   - min/max folds: `if x > best { best = x }` and its orientations —
+//     min and max are commutative and associative over every ordered type
+//     (floats included), so the fold's result is order-independent;
 //   - `return` of constants only (existence checks like `return true`);
 //   - `continue`, `if` with pure conditions, and nested loops over non-map
 //     operands whose bodies satisfy the same rules.
@@ -104,6 +79,9 @@ func (a *orderAnalysis) stmtOK(s ast.Stmt) bool {
 		}
 		return true
 	case *ast.IfStmt:
+		if a.minMaxFoldOK(s) {
+			return true
+		}
 		return a.stmtOK(s.Init) && a.pureExpr(s.Cond) && a.stmtOK(s.Body) && a.stmtOK(s.Else)
 	case *ast.ExprStmt:
 		return a.deleteCallOK(s.X)
@@ -151,6 +129,52 @@ func (a *orderAnalysis) stmtOK(s ast.Stmt) bool {
 		return a.pureExpr(s.X) && a.stmtOK(s.Body)
 	case *ast.ForStmt:
 		return a.stmtOK(s.Init) && (s.Cond == nil || a.pureExpr(s.Cond)) && a.stmtOK(s.Post) && a.stmtOK(s.Body)
+	default:
+		return false
+	}
+}
+
+// minMaxFoldOK accepts the running-extremum idiom: an if statement whose
+// condition compares two pure expressions with an ordering operator and
+// whose body is exactly one assignment copying one side of the comparison
+// into the other. Whatever the orientation, the accumulator ends up holding
+// the minimum or maximum over all iterations, and min/max are commutative
+// and associative over every ordered type — floats included, unlike float
+// addition — so the final state is iteration-order-independent.
+func (a *orderAnalysis) minMaxFoldOK(s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return false
+	}
+	if !a.pureExpr(cond.X) || !a.pureExpr(cond.Y) {
+		return false
+	}
+	asn, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asn.Tok != token.ASSIGN || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := types.ExprString(asn.Lhs[0]), types.ExprString(asn.Rhs[0])
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	if !(lhs == x && rhs == y) && !(lhs == y && rhs == x) {
+		return false
+	}
+	// The accumulator must be a commutative-safe target (not an arbitrary
+	// entry of the ranged map).
+	switch l := asn.Lhs[0].(type) {
+	case *ast.Ident:
+		return l.Name != "_"
+	case *ast.SelectorExpr:
+		return a.pureExpr(l)
+	case *ast.IndexExpr:
+		return a.pureExpr(l) && a.rangedMapIndexOK(l)
 	default:
 		return false
 	}

@@ -36,6 +36,14 @@ type funcInfo struct {
 	// body, in source order (module-internal and external alike).
 	callees []*types.Func
 
+	// refs lists functions referenced as values rather than called —
+	// method values handed to schedulers (eng.Schedule(d, n.sendSNACK)),
+	// callbacks stored in struct fields, function arguments. The effect and
+	// scan-complexity passes treat a reference as a potential call edge,
+	// which is how reachability crosses the event system's stored-closure
+	// boundary.
+	refs []*types.Func
+
 	// hot marks reachability from a hot root; hotVia names the root.
 	hot    bool
 	hotVia string
@@ -145,9 +153,19 @@ func (idx *modIndex) scanPackage(pkg *Package) {
 					enclosing = idx.funcs[obj]
 				}
 			}
+			// Idents that name the callee of a call they appear in: those
+			// are call edges, not value references. ast.Inspect visits a
+			// CallExpr before its Fun child, so the set is filled in time.
+			inCallPos := make(map[*ast.Ident]bool)
 			ast.Inspect(decl, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CallExpr:
+					switch fun := ast.Unparen(n.Fun).(type) {
+					case *ast.Ident:
+						inCallPos[fun] = true
+					case *ast.SelectorExpr:
+						inCallPos[fun.Sel] = true
+					}
 					if callee := calleeOf(pkg, n); callee != nil {
 						idx.callSites[callee] = append(idx.callSites[callee], callSite{pkg: pkg, fn: enclosing, call: n})
 						if enclosing != nil {
@@ -157,6 +175,13 @@ func (idx *modIndex) scanPackage(pkg *Package) {
 							// reachability.
 							enclosing.callees = append(enclosing.callees, callee)
 						}
+					}
+				case *ast.Ident:
+					if enclosing == nil || inCallPos[n] {
+						return true
+					}
+					if fn, _ := pkg.Info.Uses[n].(*types.Func); fn != nil {
+						enclosing.refs = append(enclosing.refs, fn)
 					}
 				case *ast.AssignStmt:
 					if len(n.Rhs) != len(n.Lhs) {
@@ -298,6 +323,36 @@ func (idx *modIndex) markHot() {
 			queue = append(queue, ci)
 		}
 	}
+}
+
+// flowEdges returns the module functions control can flow into from fi: its
+// static callees, the functions it references as values (stored callbacks
+// and scheduled method values are eventually invoked), and — for interface
+// methods in either set — every concrete module method that may stand
+// behind the dispatch. The result is deduplicated and in deterministic
+// (source, implementers-table) order.
+func (idx *modIndex) flowEdges(fi *funcInfo) []*funcInfo {
+	var out []*funcInfo
+	seen := make(map[*funcInfo]bool)
+	add := func(obj *types.Func) {
+		if ci := idx.funcs[obj]; ci != nil && !seen[ci] {
+			seen[ci] = true
+			out = append(out, ci)
+		}
+		for _, impl := range idx.implementers[obj] {
+			if ci := idx.funcs[impl]; ci != nil && !seen[ci] {
+				seen[ci] = true
+				out = append(out, ci)
+			}
+		}
+	}
+	for _, c := range fi.callees {
+		add(c)
+	}
+	for _, r := range fi.refs {
+		add(r)
+	}
+	return out
 }
 
 // reportable limits alloc-hotpath findings to the configured hot-path trees

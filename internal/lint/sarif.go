@@ -75,9 +75,8 @@ type sarifRegion struct {
 // ruleSummaries gives each catalog rule the one-line description SARIF
 // viewers display next to results.
 var ruleSummaries = map[string]string{
-	RuleWallclock:      "simulation code must take time from the event engine, not the wall clock",
-	RuleGlobalRand:     "randomness must flow through seeded *rand.Rand streams, never the global source",
-	RuleMapRange:       "map iteration order must not influence simulation-visible state",
+	RuleEffectPurity:   "functions reachable from the deterministic entry points must be effect-free (wallclock, rand, maporder, fs, net, spawn) up to declared boundaries",
+	RuleScanComplexity: "per-event code must not scan O(nodes) collections; nested O(nodes) scans are O(nodes^2)",
 	RuleErrcheck:       "errors from crypto and erasure primitives must be checked",
 	RuleTaint:          "received payloads must be hash-verified before use",
 	RuleLockDiscipline: "harness goroutine writes to shared state must be dominated by the owning mutex",
@@ -85,7 +84,7 @@ var ruleSummaries = map[string]string{
 	RuleTraceTime:      "trace records must carry simulated time, not host time",
 	RuleAllocHot:       "hot-path functions must not allocate per iteration",
 	RuleRNGProv:        "consumed RNG streams must trace to a seeded rand.New construction",
-	RuleUnusedIgnore:   "lrlint:ignore directives must suppress at least one live finding",
+	RuleUnusedIgnore:   "lrlint:ignore directives must suppress a live finding; lrlint:effects declarations must name real effects",
 	RuleDirective:      "lrlint directives must be well-formed and attached",
 }
 

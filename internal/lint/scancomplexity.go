@@ -1,0 +1,519 @@
+package lint
+
+// The scan-complexity pass: a static gate on the asymptotics of per-event
+// code, built for the ROADMAP's 100k–1M-node scale work. A loop whose trip
+// count is proportional to the node population is fine in setup code but
+// fatal inside the per-event path — every delivered packet would pay O(nodes)
+// and a dissemination round O(nodes²).
+//
+// Loop trip counts are classified over the population lattice
+//
+//	unknown < const < packets < pages < neighbors < nodes
+//
+// by binding collection types and producer calls to classes:
+//
+//   - Config.PopulationTypes binds named types ("internal/packet.NodeID" →
+//     nodes): a map keyed by a nodes-class type holds O(nodes) entries; a
+//     slice of a nodes-class element is a node collection;
+//   - Config.PopulationCalls binds producer functions ("topo.Graph.Neighbors"
+//     → neighbors); Config.PopulationPropagate marks transparent wrappers
+//     (detmap.SortedKeys) whose result class joins their argument classes;
+//   - //lrlint:population <class> on a type declaration binds module types
+//     without touching the analyzer's config (used by fixture modules and
+//     the check.sh probe).
+//
+// Classification is interprocedural: parameter classes join over every call
+// site's argument classes and struct-field classes join over every recorded
+// assignment (both via the module index), iterated to a fixpoint — so
+// `make([]int, graph.NumNodes())` stored in a field classifies loops over
+// that field as nodes wherever they occur.
+//
+// Two findings are emitted:
+//
+//   - an O(nodes) loop in a function reachable from the per-event roots
+//     (Config.EventRoots — radio delivery and broadcast, fault dispatch,
+//     trickle timers — plus //lrlint:eventroot-marked declarations), over
+//     the same flow graph the effect pass uses;
+//   - an O(nodes) loop lexically nested inside another O(nodes) loop
+//     anywhere — O(nodes²) blocks the scale work even in setup code.
+//
+// Suppression is the ordinary //lrlint:ignore scan-complexity <reason>
+// directive, which is how degree-bounded maps (SNACK server candidates,
+// per-neighbor tracking tables) carry their justification in source.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// popClass is one element of the population lattice; join is max.
+type popClass uint8
+
+const (
+	popUnknown popClass = iota
+	popConst
+	popPackets
+	popPages
+	popNeighbors
+	popNodes
+)
+
+// popClassNames maps directive/config class names to lattice elements.
+var popClassNames = map[string]popClass{
+	"const":     popConst,
+	"packets":   popPackets,
+	"pages":     popPages,
+	"neighbors": popNeighbors,
+	"nodes":     popNodes,
+}
+
+// String renders the class for findings.
+func (c popClass) String() string {
+	for name, cls := range popClassNames {
+		if cls == c {
+			return name
+		}
+	}
+	return "unknown"
+}
+
+func joinPop(a, b popClass) popClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// scanAnalysis holds the interprocedural classification state.
+type scanAnalysis struct {
+	idx *modIndex
+
+	// popTypes binds module type objects via //lrlint:population directives.
+	popTypes map[*types.TypeName]popClass
+
+	paramClass map[*types.Var]popClass
+	fieldClass map[*types.Var]popClass
+
+	// assigns lazily caches, per function, the RHS expressions assigned to
+	// each local variable.
+	assigns map[*funcInfo]map[*types.Var][]ast.Expr
+}
+
+// checkScanComplexity runs the scan-complexity pass over the module index.
+func checkScanComplexity(idx *modIndex, eventRoots map[*ast.FuncDecl]bool, popTypes map[*types.TypeName]popClass) []Diagnostic {
+	sc := &scanAnalysis{
+		idx:        idx,
+		popTypes:   popTypes,
+		paramClass: make(map[*types.Var]popClass),
+		fieldClass: make(map[*types.Var]popClass),
+		assigns:    make(map[*funcInfo]map[*types.Var][]ast.Expr),
+	}
+	sc.fixpoint()
+
+	rooted, via := sc.eventReach(eventRoots)
+
+	var diags []Diagnostic
+	for _, fi := range idx.order {
+		diags = append(diags, sc.scanFunc(fi, rooted[fi], via[fi])...)
+	}
+	return diags
+}
+
+// fixpoint iterates parameter and field classification to a fixed point.
+// Joins are monotone over a finite lattice of height 5, so the loop
+// terminates; the round cap is a safety net, not a correctness device.
+func (sc *scanAnalysis) fixpoint() {
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, fi := range sc.idx.order {
+			sig, _ := fi.obj.Type().(*types.Signature)
+			if sig == nil || sig.Params().Len() == 0 {
+				continue
+			}
+			for _, site := range sc.idx.callSites[fi.obj] {
+				if site.call.Ellipsis.IsValid() || len(site.call.Args) < sig.Params().Len() {
+					continue
+				}
+				n := sig.Params().Len()
+				if sig.Variadic() {
+					n-- // variadic tail stays unclassified
+				}
+				for i := 0; i < n && i < len(site.call.Args); i++ {
+					p := sig.Params().At(i)
+					cls := sc.classOf(site.pkg, site.fn, site.call.Args[i], nil)
+					if j := joinPop(sc.paramClass[p], cls); j != sc.paramClass[p] {
+						sc.paramClass[p] = j
+						changed = true
+					}
+				}
+			}
+		}
+		for field, assigns := range sc.idx.fieldAssigns {
+			cls := sc.fieldClass[field]
+			for _, a := range assigns {
+				cls = joinPop(cls, sc.classOf(a.pkg, a.fn, a.expr, nil))
+			}
+			if cls != sc.fieldClass[field] {
+				sc.fieldClass[field] = cls
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// classOf computes the population class of an expression's value: for a
+// collection, how many elements it holds; for an integer, how large it can
+// grow. seen breaks assignment cycles between locals.
+func (sc *scanAnalysis) classOf(pkg *Package, fn *funcInfo, e ast.Expr, seen map[*types.Var]bool) popClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return popConst
+	case *ast.Ident:
+		return sc.identClass(pkg, fn, e, seen)
+	case *ast.SelectorExpr:
+		obj := pkg.Info.Uses[e.Sel]
+		if v, ok := obj.(*types.Var); ok {
+			if cls := sc.typeClass(v.Type(), 0); cls != popUnknown {
+				return cls
+			}
+			if v.IsField() {
+				return sc.fieldClass[v]
+			}
+			return popUnknown
+		}
+		return sc.typeClassOfExpr(pkg, e)
+	case *ast.UnaryExpr:
+		return sc.classOf(pkg, fn, e.X, seen)
+	case *ast.StarExpr:
+		return sc.classOf(pkg, fn, e.X, seen)
+	case *ast.BinaryExpr:
+		return joinPop(sc.classOf(pkg, fn, e.X, seen), sc.classOf(pkg, fn, e.Y, seen))
+	case *ast.IndexExpr:
+		return sc.typeClassOfExpr(pkg, e)
+	case *ast.SliceExpr:
+		return sc.classOf(pkg, fn, e.X, seen)
+	case *ast.CallExpr:
+		return sc.callClass(pkg, fn, e, seen)
+	default:
+		return sc.typeClassOfExpr(pkg, e)
+	}
+}
+
+// identClass resolves an identifier: constants are const-class, then the
+// variable's own type binding, then parameter and local-assignment joins.
+func (sc *scanAnalysis) identClass(pkg *Package, fn *funcInfo, id *ast.Ident, seen map[*types.Var]bool) popClass {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	switch v := obj.(type) {
+	case *types.Const:
+		return popConst
+	case *types.Var:
+		if cls := sc.typeClass(v.Type(), 0); cls != popUnknown {
+			return cls
+		}
+		if seen[v] {
+			return popUnknown
+		}
+		cls := sc.paramClass[v] // zero value popUnknown when not a parameter
+		if v.IsField() {
+			cls = joinPop(cls, sc.fieldClass[v])
+		}
+		if fn != nil {
+			if seen == nil {
+				seen = make(map[*types.Var]bool)
+			}
+			seen[v] = true
+			for _, rhs := range sc.localAssigns(fn)[v] {
+				cls = joinPop(cls, sc.classOf(pkg, fn, rhs, seen))
+			}
+			delete(seen, v)
+		}
+		return cls
+	}
+	return popUnknown
+}
+
+// localAssigns builds (once per function) the table of RHS expressions
+// assigned to each variable in the body: plain and short-form assignments
+// with matching arity, and var specs with initializers.
+func (sc *scanAnalysis) localAssigns(fn *funcInfo) map[*types.Var][]ast.Expr {
+	if t, ok := sc.assigns[fn]; ok {
+		return t
+	}
+	t := make(map[*types.Var][]ast.Expr)
+	info := fn.pkg.Info
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && !v.IsField() {
+					t[v] = append(t[v], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, id := range n.Names {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					t[v] = append(t[v], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	sc.assigns[fn] = t
+	return t
+}
+
+// callClass classifies call results: len/cap are transparent, make joins the
+// made type with the size argument, bound producers take their configured
+// class, propagate-marked wrappers join their arguments, and anything else
+// falls back to the class of the call's result type.
+func (sc *scanAnalysis) callClass(pkg *Package, fn *funcInfo, call *ast.CallExpr, seen map[*types.Var]bool) popClass {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		cls := sc.typeClassOfExpr(pkg, call)
+		if len(call.Args) == 1 {
+			cls = joinPop(cls, sc.classOf(pkg, fn, call.Args[0], seen))
+		}
+		return cls
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				if len(call.Args) == 1 {
+					return sc.classOf(pkg, fn, call.Args[0], seen)
+				}
+			case "make":
+				cls := sc.typeClassOfExpr(pkg, call)
+				if len(call.Args) >= 2 {
+					cls = joinPop(cls, sc.classOf(pkg, fn, call.Args[1], seen))
+				}
+				return cls
+			case "min", "max":
+				cls := popUnknown
+				for _, a := range call.Args {
+					cls = joinPop(cls, sc.classOf(pkg, fn, a, seen))
+				}
+				return cls
+			}
+			return popUnknown
+		}
+	}
+	if callee := calleeOf(pkg, call); callee != nil {
+		qn := sc.funcQName(callee)
+		if cls, ok := popClassNames[sc.idx.cfg.PopulationCalls[qn]]; ok {
+			return cls
+		}
+		for _, p := range sc.idx.cfg.PopulationPropagate {
+			if p == qn {
+				cls := popUnknown
+				for _, a := range call.Args {
+					cls = joinPop(cls, sc.classOf(pkg, fn, a, seen))
+				}
+				return joinPop(cls, sc.typeClassOfExpr(pkg, call))
+			}
+		}
+	}
+	return sc.typeClassOfExpr(pkg, call)
+}
+
+// typeClassOfExpr classifies by the expression's static type alone.
+func (sc *scanAnalysis) typeClassOfExpr(pkg *Package, e ast.Expr) popClass {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return popUnknown
+	}
+	return sc.typeClass(t, 0)
+}
+
+// typeClass maps a type to the population class of a collection of (or
+// keyed by) that type: a named type bound by config or directive, a slice
+// or array of a bound element, a map with a bound key.
+func (sc *scanAnalysis) typeClass(t types.Type, depth int) popClass {
+	if depth > 10 {
+		return popUnknown
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		tn := t.Obj()
+		if cls, ok := sc.popTypes[tn]; ok {
+			return cls
+		}
+		if cls := sc.typeBinding(tn); cls != popUnknown {
+			return cls
+		}
+		return sc.typeClass(t.Underlying(), depth+1)
+	case *types.Pointer:
+		return sc.typeClass(t.Elem(), depth+1)
+	case *types.Slice:
+		return sc.typeClass(t.Elem(), depth+1)
+	case *types.Array:
+		return sc.typeClass(t.Elem(), depth+1)
+	case *types.Map:
+		return sc.typeClass(t.Key(), depth+1)
+	}
+	return popUnknown
+}
+
+// typeBinding resolves a named type against Config.PopulationTypes by its
+// module-relative qualified name.
+func (sc *scanAnalysis) typeBinding(tn *types.TypeName) popClass {
+	if tn.Pkg() == nil {
+		return popUnknown
+	}
+	qn := sc.relPath(tn.Pkg().Path()) + "." + tn.Name()
+	return popClassNames[sc.idx.cfg.PopulationTypes[qn]]
+}
+
+// funcQName renders a module-relative qualified name for any function
+// object, including interface methods and imported functions, matching the
+// "pkg/path.Func" / "pkg/path.Recv.Method" form of Config keys.
+func (sc *scanAnalysis) funcQName(obj *types.Func) string {
+	if fi := sc.idx.funcs[obj]; fi != nil {
+		return fi.qname
+	}
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	name := obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			name = t.Obj().Name() + "." + name
+		case *types.Interface:
+			// Embedded-interface receivers have no useful name; leave bare.
+		}
+	}
+	return sc.relPath(obj.Pkg().Path()) + "." + name
+}
+
+// relPath strips the module prefix from an import path.
+func (sc *scanAnalysis) relPath(path string) string {
+	mod := sc.idx.cfg.ModulePath
+	if mod != "" {
+		if path == mod {
+			return ""
+		}
+		if len(path) > len(mod) && path[:len(mod)] == mod && path[len(mod)] == '/' {
+			return path[len(mod)+1:]
+		}
+	}
+	return path
+}
+
+// eventReach marks every function reachable from the per-event roots over
+// the flow graph, recording the root that first reached it.
+func (sc *scanAnalysis) eventReach(marked map[*ast.FuncDecl]bool) (map[*funcInfo]bool, map[*funcInfo]string) {
+	rooted := make(map[*funcInfo]bool)
+	via := make(map[*funcInfo]string)
+	var queue []*funcInfo
+	add := func(fi *funcInfo, from string) {
+		if fi == nil || rooted[fi] {
+			return
+		}
+		rooted[fi] = true
+		via[fi] = from
+		queue = append(queue, fi)
+	}
+	for _, root := range sc.idx.cfg.EventRoots {
+		if fi := sc.idx.byName[root]; fi != nil {
+			add(fi, fi.qname)
+		}
+	}
+	for _, fi := range sc.idx.order {
+		if marked[fi.decl] {
+			add(fi, fi.qname)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, ci := range sc.idx.flowEdges(fi) {
+			add(ci, via[fi])
+		}
+	}
+	return rooted, via
+}
+
+// loopBoundClass classifies a loop statement's trip count: the ranged
+// collection's class, or the bound side of a for-loop comparison.
+func (sc *scanAnalysis) loopBoundClass(fi *funcInfo, n ast.Node) (popClass, bool) {
+	switch l := n.(type) {
+	case *ast.RangeStmt:
+		return sc.classOf(fi.pkg, fi, l.X, nil), true
+	case *ast.ForStmt:
+		cond, ok := l.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return popUnknown, true
+		}
+		switch cond.Op.String() {
+		case "<", "<=":
+			return sc.classOf(fi.pkg, fi, cond.Y, nil), true
+		case ">", ">=":
+			return sc.classOf(fi.pkg, fi, cond.X, nil), true
+		}
+		return popUnknown, true
+	}
+	return popUnknown, false
+}
+
+// scanFunc walks one function body tracking lexical nesting of nodes-class
+// loops and emits the two finding kinds.
+func (sc *scanAnalysis) scanFunc(fi *funcInfo, rooted bool, via string) []Diagnostic {
+	var diags []Diagnostic
+	var stack []ast.Node // enclosing nodes-class loops, pruned by position
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		for len(stack) > 0 && n.Pos() >= stack[len(stack)-1].End() {
+			stack = stack[:len(stack)-1]
+		}
+		cls, isLoop := sc.loopBoundClass(fi, n)
+		if !isLoop || cls != popNodes {
+			return true
+		}
+		pos := fi.pkg.Fset.Position(n.Pos())
+		switch {
+		case len(stack) > 0:
+			diags = append(diags, Diagnostic{
+				Pos:  pos,
+				Rule: RuleScanComplexity,
+				Msg:  "O(nodes) scan nested inside an O(nodes) scan — O(nodes^2) total; build a spatial or per-neighbor index, or justify with //lrlint:ignore scan-complexity <reason>",
+			})
+		case rooted:
+			diags = append(diags, Diagnostic{
+				Pos:  pos,
+				Rule: RuleScanComplexity,
+				Msg: fmt.Sprintf("O(nodes) scan inside the per-event path (reachable from %s): O(nodes^2) work per round; restructure to O(neighbors)/O(1) or justify with //lrlint:ignore scan-complexity <reason>",
+					via),
+			})
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return diags
+}

@@ -10,7 +10,7 @@ import "time"
 // Deadline stamps orchestration metadata; the wall-clock read is a
 // documented exception wrapped across several lines.
 func Deadline(budget time.Duration) time.Time {
-	//lrlint:ignore no-wallclock fixture pins directive coverage across a wrapped multi-line statement
+	//lrlint:ignore effect-purity fixture pins directive coverage across a wrapped multi-line statement
 	deadline := at(
 		time.Now(),
 		budget,

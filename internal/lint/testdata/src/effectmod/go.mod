@@ -1,0 +1,3 @@
+module effmod
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package experiment mirrors the real module's deterministic entry points:
+// its Run and RunGrid match the internal/experiment EffectRoots of
+// DefaultConfig, so everything reachable from them must be effect-free up to
+// declared boundaries.
+package experiment
+
+import "effmod/util"
+
+type handler interface{ Handle(int) }
+
+// Run is a deterministic root. Each call below pins one propagation path of
+// the effect-purity pass: a direct call, a declared boundary, an SCC, an
+// interface dispatch, and a function-value reference.
+func Run(hs []handler) {
+	util.WallDelay()
+	util.Timestamp()
+	util.Recurse(3)
+	for _, h := range hs {
+		h.Handle(1)
+	}
+	schedule(util.TouchDisk)
+}
+
+func schedule(f func()) { f() }
+
+// RunGrid is the second root; it reaches the order-sensitive map walk.
+func RunGrid() int { return util.Tally(map[int]int{1: 1}) }

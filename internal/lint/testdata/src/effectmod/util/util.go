@@ -1,0 +1,71 @@
+// Package util sits outside internal/, so the legacy per-package wallclock
+// scope does not apply here: every wallclock/fs/net/spawn finding in this
+// file must come from reachability off the experiment roots. The global-rand
+// draw is the exception — its scope is the whole module.
+package util
+
+import (
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+)
+
+// WallDelay is reached by a direct call from experiment.Run.
+func WallDelay() { time.Sleep(time.Millisecond) }
+
+// Timestamp declares its effect: no finding here, and none at its callers —
+// the declaration is a justified boundary for the whole subtree.
+//
+//lrlint:effects(wallclock) fixture pins the declared-boundary path
+func Timestamp() int64 { return time.Now().UnixNano() }
+
+// Recurse and helper are mutually recursive, so they form one SCC; the go
+// statement inside the cycle must still surface at the root.
+func Recurse(n int) {
+	if n > 0 {
+		helper(n - 1)
+	}
+}
+
+func helper(n int) {
+	go Recurse(n)
+}
+
+// NetHandler is reached from experiment.Run only through interface dispatch.
+type NetHandler struct{}
+
+func (NetHandler) Handle(int) {
+	resp, err := http.Get("http://example.invalid/")
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// TouchDisk is reached from experiment.Run only as a function value handed
+// to a scheduler, exercising the reference edges of the flow graph.
+func TouchDisk() {
+	if b, err := os.ReadFile("state"); err == nil {
+		_ = b
+	}
+}
+
+// Tally's map walk is order-sensitive (string concatenation); util is not an
+// OrderedPackages member, so the finding must come from the RunGrid root.
+func Tally(m map[int]int) int {
+	s := ""
+	for k := range m {
+		s += string(rune(k))
+	}
+	return len(s)
+}
+
+// Seed is unreachable from any root; the global-source draw is still a
+// finding because the rand scope covers the whole module.
+func Seed() int { return rand.Int() }
+
+// Stale declares an effect neither it nor anything it calls produces; the
+// declaration itself is the finding.
+//
+//lrlint:effects(fs) fixture pins the stale-declaration check
+func Stale() int { return 7 }

@@ -56,7 +56,7 @@ func SumCapped(m map[int]int, limit int) int {
 // Justified demonstrates the escape hatch: the callback is known
 // order-insensitive at this call site, recorded in the directive.
 func Justified(m map[int]int, add func(int)) {
-	//lrlint:ignore map-range add is a commutative accumulator at every call site
+	//lrlint:ignore effect-purity add is a commutative accumulator at every call site
 	for k := range m {
 		add(k)
 	}

@@ -1,0 +1,3 @@
+module scanmod
+
+go 1.22

@@ -1,0 +1,6 @@
+// Package packet mirrors the real module's internal/packet so the NodeID
+// population binding of DefaultConfig applies to this fixture module too.
+package packet
+
+// NodeID is classified `nodes` through Config.PopulationTypes.
+type NodeID uint16

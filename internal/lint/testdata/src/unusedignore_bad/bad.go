@@ -6,7 +6,7 @@ package unusedignore_bad
 // must be reported as stale.
 func Sum(vals []int) int {
 	total := 0
-	//lrlint:ignore map-range iteration order does not matter here
+	//lrlint:ignore effect-purity iteration order does not matter here
 	for _, v := range vals {
 		total += v
 	}

@@ -20,10 +20,15 @@ type FaultOverlay struct {
 	linkDown map[linkKey]bool
 
 	// partition assignment: group[id] is the node's cell, valid only while
-	// partitioned. Nodes not listed in any Partition group share the
-	// implicit remainder cell.
+	// partitioned and only when groupEpoch[id] matches the current epoch.
+	// Nodes whose stamp is stale were not listed in any Partition group and
+	// share the implicit remainder cell — the epoch stamp makes SetPartition
+	// O(listed nodes) instead of an O(topology) reset per fault event.
 	partitioned bool
 	group       []int
+	groupEpoch  []int
+	curEpoch    int
+	restCell    int
 
 	faultDrops int64
 }
@@ -31,11 +36,12 @@ type FaultOverlay struct {
 // newFaultOverlay wraps inner for a topology of numNodes nodes.
 func newFaultOverlay(inner LossModel, numNodes int) *FaultOverlay {
 	return &FaultOverlay{
-		inner:    inner,
-		numNodes: numNodes,
-		down:     make([]bool, numNodes),
-		linkDown: make(map[linkKey]bool),
-		group:    make([]int, numNodes),
+		inner:      inner,
+		numNodes:   numNodes,
+		down:       make([]bool, numNodes),
+		linkDown:   make(map[linkKey]bool),
+		group:      make([]int, numNodes),
+		groupEpoch: make([]int, numNodes),
 	}
 }
 
@@ -80,18 +86,26 @@ func (o *FaultOverlay) SetLinkDown(from, to int, down bool) {
 // cross cells only after ClearPartition. Nodes listed in groups[i] join cell
 // i; unlisted nodes share the implicit remainder cell.
 func (o *FaultOverlay) SetPartition(groups [][]int) {
-	rest := len(groups)
-	for id := range o.group {
-		o.group[id] = rest
-	}
+	o.curEpoch++
+	o.restCell = len(groups)
 	for gi, g := range groups {
 		for _, id := range g {
 			if id >= 0 && id < o.numNodes {
 				o.group[id] = gi
+				o.groupEpoch[id] = o.curEpoch
 			}
 		}
 	}
 	o.partitioned = true
+}
+
+// cellOf resolves a node's partition cell: its stamped group when listed in
+// the current partition, the remainder cell otherwise.
+func (o *FaultOverlay) cellOf(id int) int {
+	if o.groupEpoch[id] == o.curEpoch {
+		return o.group[id]
+	}
+	return o.restCell
 }
 
 // ClearPartition heals the current partition.
@@ -106,7 +120,7 @@ func (o *FaultOverlay) Blocked(from, to int) bool {
 		return true
 	}
 	if o.partitioned && from >= 0 && from < o.numNodes && to >= 0 && to < o.numNodes &&
-		o.group[from] != o.group[to] {
+		o.cellOf(from) != o.cellOf(to) {
 		return true
 	}
 	return false

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -149,3 +150,59 @@ func TestOverlaySilencesDownSender(t *testing.T) {
 type receiverFunc func(packet.NodeID, packet.Packet)
 
 func (f receiverFunc) HandlePacket(from packet.NodeID, p packet.Packet) { f(from, p) }
+
+func TestSetPartitionEpochSemantics(t *testing.T) {
+	_, ov := newOverlayUnderTest(t, 6, nil)
+
+	// First partition: {0,1} | {2,3}, nodes 4 and 5 in the remainder cell.
+	ov.SetPartition([][]int{{0, 1}, {2, 3}})
+	if ov.Blocked(0, 1) || ov.Blocked(2, 3) || ov.Blocked(4, 5) {
+		t.Fatal("intra-cell delivery blocked")
+	}
+	if !ov.Blocked(0, 2) || !ov.Blocked(1, 4) || !ov.Blocked(3, 5) {
+		t.Fatal("cross-cell delivery not blocked")
+	}
+
+	// Re-partition without clearing: stale stamps from the first partition
+	// must fall back to the new remainder cell, not keep their old group.
+	ov.SetPartition([][]int{{0, 2}})
+	if ov.Blocked(0, 2) {
+		t.Fatal("intra-cell delivery blocked after re-partition")
+	}
+	if !ov.Blocked(0, 1) {
+		t.Fatal("node 1 kept its stale cell across re-partition")
+	}
+	if ov.Blocked(1, 3) || ov.Blocked(1, 5) {
+		t.Fatal("unlisted nodes should share the remainder cell")
+	}
+
+	ov.ClearPartition()
+	if ov.Blocked(0, 1) {
+		t.Fatal("healed partition still blocks")
+	}
+}
+
+// TestSetPartitionAllocFree pins the epoch-stamping rewrite: installing a
+// partition touches only the listed nodes and allocates nothing, so a fault
+// plan that re-partitions every round stays O(listed) per event even on a
+// 100k-node topology.
+func TestSetPartitionAllocFree(t *testing.T) {
+	ov := newFaultOverlay(nil, 100000)
+	groups := [][]int{{1, 2, 3}, {4, 5, 6}}
+	if avg := testing.AllocsPerRun(100, func() { ov.SetPartition(groups) }); avg != 0 {
+		t.Fatalf("SetPartition allocates %v times per call, want 0", avg)
+	}
+}
+
+func BenchmarkSetPartition(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		ov := newFaultOverlay(nil, n)
+		groups := [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ov.SetPartition(groups)
+			}
+		})
+	}
+}

@@ -419,3 +419,154 @@ func TestRunsPostRealSimulator(t *testing.T) {
 		t.Fatal("real-simulator rerun not served byte-identically from cache")
 	}
 }
+
+// TestETagConditionalGet pins the conditional-request contract on
+// GET /v1/runs/{key}: the first GET carries a strong ETag, a revalidation
+// with If-None-Match is answered 304 with no body (and the same ETag), and a
+// non-matching validator gets the full body again.
+func TestETagConditionalGet(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+
+	posted := postSpec(t, srv.Handler(), `{"seed": 5}`)
+	key := posted.Header().Get(keyHeader)
+
+	first := get(t, srv.Handler(), "/v1/runs/"+key)
+	etag := first.Header().Get("ETag")
+	if first.Code != http.StatusOK || etag == "" {
+		t.Fatalf("first GET: code=%d etag=%q", first.Code, etag)
+	}
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag %q is not a quoted strong validator", etag)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/runs/"+key, nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("revalidation: code=%d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("304 carried a %d-byte body", rec.Body.Len())
+	}
+	if got := rec.Header().Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+
+	// Weak-comparison and list forms must also revalidate.
+	for _, h := range []string{"W/" + etag, `"stale", ` + etag, "*"} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/runs/"+key, nil)
+		req.Header.Set("If-None-Match", h)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: code=%d, want 304", h, rec.Code)
+		}
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/runs/"+key, nil)
+	req.Header.Set("If-None-Match", `"something-else"`)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("non-matching validator: code=%d, want 200", rec.Code)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), first.Body.Bytes()) {
+		t.Fatal("refetched body differs from the first GET")
+	}
+}
+
+// TestETagOnSweeps pins the same contract on GET /v1/sweeps/{name}, where
+// the warm-path body is deterministic so its ETag revalidates across
+// requests.
+func TestETagOnSweeps(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), nil)
+
+	warmup := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=1")
+	if warmup.Code != http.StatusOK {
+		t.Fatalf("warmup sweep: %d %s", warmup.Code, warmup.Body)
+	}
+	if warmup.Header().Get("ETag") == "" {
+		t.Fatal("sweep response has no ETag")
+	}
+
+	// The body carries the hit/miss split, so the cold ETag does not
+	// revalidate a warm response; a second (all-hits) request is the stable
+	// body whose validator holds from then on.
+	warm := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=1")
+	etag := warm.Header().Get("ETag")
+	if warm.Code != http.StatusOK || etag == "" {
+		t.Fatalf("warm sweep: code=%d etag=%q", warm.Code, etag)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/sweeps/smoke?quick=1&runs=1&seed=1", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("sweep revalidation: code=%d bodyBytes=%d, want 304 with no body", rec.Code, rec.Body.Len())
+	}
+}
+
+// TestSweepIndex pins GET /v1/sweeps: every catalog sweep is listed, cold
+// stores report zero stored cells, and running a sweep flips exactly that
+// sweep to warm.
+func TestSweepIndex(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), nil)
+
+	cold := get(t, srv.Handler(), "/v1/sweeps?quick=1&runs=1&seed=1")
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold index: %d %s", cold.Code, cold.Body)
+	}
+	var coldResp SweepIndexResponse
+	if err := json.Unmarshal(cold.Body.Bytes(), &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(coldResp.Sweeps) != len(experiment.SweepNames()) {
+		t.Fatalf("index lists %d sweeps, want %d", len(coldResp.Sweeps), len(experiment.SweepNames()))
+	}
+	for _, e := range coldResp.Sweeps {
+		if e.Stored != 0 || e.Warm {
+			t.Fatalf("cold store reports sweep %q stored=%d warm=%v", e.Sweep, e.Stored, e.Warm)
+		}
+		if e.Cells == 0 {
+			t.Fatalf("sweep %q expanded to zero cells", e.Sweep)
+		}
+	}
+
+	if rec := get(t, srv.Handler(), "/v1/sweeps/smoke?quick=1&runs=1&seed=1"); rec.Code != http.StatusOK {
+		t.Fatalf("smoke sweep: %d %s", rec.Code, rec.Body)
+	}
+
+	warm := get(t, srv.Handler(), "/v1/sweeps?quick=1&runs=1&seed=1")
+	var warmResp SweepIndexResponse
+	if err := json.Unmarshal(warm.Body.Bytes(), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range warmResp.Sweeps {
+		if e.Sweep == "smoke" {
+			if !e.Warm || e.Stored != e.Cells {
+				t.Fatalf("smoke not warm after running it: %+v", e)
+			}
+		} else if e.Stored != 0 {
+			t.Fatalf("running smoke stored cells for %q: %+v", e.Sweep, e)
+		}
+	}
+
+	// The spec is part of the cell key: a different seed is cold again.
+	other := get(t, srv.Handler(), "/v1/sweeps?quick=1&runs=1&seed=9")
+	var otherResp SweepIndexResponse
+	if err := json.Unmarshal(other.Body.Bytes(), &otherResp); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range otherResp.Sweeps {
+		if e.Stored != 0 {
+			t.Fatalf("different seed reports warmth: %+v", e)
+		}
+	}
+
+	if rec := get(t, srv.Handler(), "/v1/sweeps?runs=banana"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad runs param on index: %d", rec.Code)
+	}
+}

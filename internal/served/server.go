@@ -9,6 +9,7 @@
 //
 //	POST /v1/runs          run (or serve) the spec in the request body
 //	GET  /v1/runs/{key}    fetch a stored result by its content key
+//	GET  /v1/sweeps        index the catalog sweeps and their store warmth
 //	GET  /v1/sweeps/{name} run a catalog sweep incrementally, per-cell cached
 //	GET  /healthz          liveness probe
 //	GET  /metrics          counters + latency histograms (JSON or Prometheus)
@@ -19,11 +20,18 @@
 // the X-Lrserved-Cache header — never in the body, so a miss and the hits
 // that follow it return byte-identical bodies.
 //
+// GET responses on /v1/runs/{key} and /v1/sweeps/{name} carry a strong ETag
+// derived from the body bytes; a request whose If-None-Match matches is
+// answered 304 Not Modified with no body. Bodies are pure functions of
+// stored content, so the ETag is stable across restarts and replicas.
+//
 // The package deliberately stops at http.Handler; listening, graceful
 // shutdown and flag parsing live in cmd/lrserved.
 package served
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -124,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.instrument(epRunsPost, s.handleRunsPost))
 	mux.HandleFunc("GET /v1/runs/{key}", s.instrument(epRunsGet, s.handleRunsGet))
+	mux.HandleFunc("GET /v1/sweeps", s.instrument(epSweeps, s.handleSweepIndex))
 	mux.HandleFunc("GET /v1/sweeps/{name}", s.instrument(epSweeps, s.handleSweeps))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
@@ -156,11 +165,11 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.begin()
-		//lrlint:ignore no-wallclock request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
+		//lrlint:ignore effect-purity request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		//lrlint:ignore no-wallclock request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
+		//lrlint:ignore effect-purity request latency is a wall-clock observable by definition; run results never depend on it (virtual time stays inside internal/sim)
 		s.metrics.end(endpoint, sw.code, time.Since(start).Seconds())
 	}
 }
@@ -269,7 +278,9 @@ func (s *Server) handleRunsGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no result stored under %s", key))
 		return
 	}
-	writeEnvelope(w, env, "hit")
+	w.Header().Set(cacheHeader, "hit")
+	w.Header().Set(keyHeader, env.Key)
+	writeJSONCacheable(w, r, env)
 }
 
 // SweepResponse is the body of GET /v1/sweeps/{name}.
@@ -284,18 +295,16 @@ type SweepResponse struct {
 	Cells       []CellOutcome `json:"cells"`
 }
 
-// handleSweeps serves GET /v1/sweeps/{name}?runs=&seed=&quick=: the catalog
-// sweep runs incrementally, consulting the store per cell and computing only
-// the misses.
-func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
+// parseSweepSpec reads the shared ?runs=&seed=&quick= query parameters. A
+// false return means the error response has already been written.
+func parseSweepSpec(w http.ResponseWriter, r *http.Request) (experiment.SweepSpec, bool) {
 	spec := experiment.SweepSpec{Runs: 1, Seed: 1}
 	q := r.URL.Query()
 	if v := q.Get("runs"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("runs: %v", err))
-			return
+			return spec, false
 		}
 		spec.Runs = n
 	}
@@ -303,7 +312,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed: %v", err))
-			return
+			return spec, false
 		}
 		spec.Seed = n
 	}
@@ -311,9 +320,21 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("quick: %v", err))
-			return
+			return spec, false
 		}
 		spec.Quick = b
+	}
+	return spec, true
+}
+
+// handleSweeps serves GET /v1/sweeps/{name}?runs=&seed=&quick=: the catalog
+// sweep runs incrementally, consulting the store per cell and computing only
+// the misses.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := parseSweepSpec(w, r)
+	if !ok {
+		return
 	}
 
 	cells, err := experiment.SweepCells(name, spec)
@@ -329,7 +350,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.addCache(int64(hits), int64(misses), int64(misses))
-	writeJSON(w, http.StatusOK, SweepResponse{
+	writeJSONCacheable(w, r, SweepResponse{
 		Sweep:       name,
 		CodeVersion: s.cfg.CodeVersion,
 		Runs:        spec.Runs,
@@ -338,6 +359,63 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		Hits:        hits,
 		Misses:      misses,
 		Cells:       outs,
+	})
+}
+
+// SweepIndexEntry summarizes one catalog sweep's store warmth under the
+// current code version.
+type SweepIndexEntry struct {
+	Sweep  string `json:"sweep"`
+	Cells  int    `json:"cells"`
+	Stored int    `json:"stored"`
+	Warm   bool   `json:"warm"`
+}
+
+// SweepIndexResponse is the body of GET /v1/sweeps.
+type SweepIndexResponse struct {
+	CodeVersion string            `json:"code_version"`
+	Runs        int               `json:"runs"`
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	Sweeps      []SweepIndexEntry `json:"sweeps"`
+}
+
+// handleSweepIndex serves GET /v1/sweeps?runs=&seed=&quick=: for every
+// catalog sweep, how many of its cells the store already holds under the
+// given spec, and whether the sweep is fully warm (a hit-only GET away). A
+// pure store probe — nothing is computed.
+func (s *Server) handleSweepIndex(w http.ResponseWriter, r *http.Request) {
+	spec, ok := parseSweepSpec(w, r)
+	if !ok {
+		return
+	}
+	names := experiment.SweepNames()
+	entries := make([]SweepIndexEntry, 0, len(names))
+	for _, name := range names {
+		cells, err := experiment.SweepCells(name, spec)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("expand %s: %v", name, err))
+			return
+		}
+		stored := 0
+		for _, c := range cells {
+			if s.cfg.Store.Has(c.Key(s.cfg.CodeVersion)) {
+				stored++
+			}
+		}
+		entries = append(entries, SweepIndexEntry{
+			Sweep:  name,
+			Cells:  len(cells),
+			Stored: stored,
+			Warm:   len(cells) > 0 && stored == len(cells),
+		})
+	}
+	writeJSON(w, http.StatusOK, SweepIndexResponse{
+		CodeVersion: s.cfg.CodeVersion,
+		Runs:        spec.Runs,
+		Seed:        spec.Seed,
+		Quick:       spec.Quick,
+		Sweeps:      entries,
 	})
 }
 
@@ -385,6 +463,52 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// etagOf derives the strong validator for a response body: a quoted
+// truncated SHA-256 of the exact bytes on the wire.
+func etagOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, `*` matching anything, with the weak-comparison rule
+// (a W/ prefix is ignored — weak comparison is all If-None-Match gets per
+// RFC 9110 §13.1.2).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || strings.TrimPrefix(c, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeJSONCacheable is writeJSON plus conditional-request support: the
+// response carries a strong body-derived ETag, and a request whose
+// If-None-Match matches is answered 304 Not Modified with no body (the ETag
+// and any cache headers already set still go out, per RFC 9110 §15.4.5).
+func writeJSONCacheable(w http.ResponseWriter, r *http.Request, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	buf = append(buf, '\n')
+	etag := etagOf(buf)
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
 }
 
 // writeJSON marshals v and commits the response. Marshaling before

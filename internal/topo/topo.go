@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Point is a node position in abstract distance units ("feet" in the mica2
@@ -161,11 +162,35 @@ func RandomDisk(n int, side float64, seed int64) (*Graph, error) {
 	return g, nil
 }
 
+// connectByRange links every pair of nodes within commRange. Candidates come
+// from a uniform grid of commRange-sized cells: a node's neighbors can only
+// live in its own cell or the eight surrounding ones, so each node examines
+// O(degree) candidates instead of all n. Candidate indices are sorted before
+// the distance test, so the emitted link lists are byte-identical
+// (To-ascending) to the former all-pairs scan.
 func connectByRange(g *Graph, commRange float64) {
 	n := len(g.pos)
+	type cell struct{ cx, cy int }
+	cellOf := func(p Point) cell {
+		return cell{cx: int(math.Floor(p.X / commRange)), cy: int(math.Floor(p.Y / commRange))}
+	}
+	buckets := make(map[cell][]int, n)
+	for i, p := range g.pos {
+		c := cellOf(p)
+		buckets[c] = append(buckets[c], i)
+	}
+	var cand []int
 	for i := 0; i < n; i++ {
+		c := cellOf(g.pos[i])
+		cand = cand[:0]
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				cand = append(cand, buckets[cell{cx: c.cx + dx, cy: c.cy + dy}]...)
+			}
+		}
+		sort.Ints(cand)
 		var links []Link
-		for j := 0; j < n; j++ {
+		for _, j := range cand {
 			if j == i {
 				continue
 			}

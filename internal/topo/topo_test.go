@@ -1,6 +1,8 @@
 package topo
 
 import (
+	"fmt"
+	"math"
 	"testing"
 )
 
@@ -167,5 +169,70 @@ func TestDisconnectedDetection(t *testing.T) {
 		// happens the seed placed them together — regenerate mentality not
 		// needed, just check the primitive differently.
 		t.Skip("nodes happened to land in range")
+	}
+}
+
+// connectByRangeNaive is the all-pairs reference the grid-bucket index in
+// connectByRange must reproduce byte-for-byte.
+func connectByRangeNaive(g *Graph, commRange float64) {
+	n := len(g.pos)
+	for i := 0; i < n; i++ {
+		var links []Link
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := g.pos[i].Distance(g.pos[j])
+			if d > commRange {
+				continue
+			}
+			links = append(links, Link{To: j, Quality: qualityAt(d, commRange)})
+		}
+		g.neighbors[i] = links
+	}
+}
+
+func TestConnectByRangeMatchesNaive(t *testing.T) {
+	for _, n := range []int{2, 17, 200, 1000} {
+		g, err := RandomDisk(n, 200, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := &Graph{pos: g.pos, neighbors: make([][]Link, n)}
+		connectByRangeNaive(ref, CommRange)
+		for i := 0; i < n; i++ {
+			got, want := g.Neighbors(i), ref.neighbors[i]
+			if len(got) != len(want) {
+				t.Fatalf("n=%d node %d: %d links, want %d", n, i, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d node %d link %d: %+v, want %+v", n, i, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkConnectByRange pins the spatial index's advantage over the former
+// all-pairs scan; at constant density the indexed build is near-linear in n.
+func BenchmarkConnectByRange(b *testing.B) {
+	for _, n := range []int{250, 1000, 4000} {
+		// Side grows with sqrt(n) so node density — and thus average degree —
+		// stays constant across sizes.
+		g, err := RandomDisk(n, 14*math.Sqrt(float64(n)), int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("indexed/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				connectByRange(g, CommRange)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				connectByRangeNaive(g, CommRange)
+			}
+		})
 	}
 }

@@ -5,8 +5,9 @@
 # lint-baseline.json so only drift fails, with stale-directive detection on,
 # a SARIF 2.1.0 artifact smoke-checked, the analyzer selfbench written to
 # BENCH_lint.json with per-pass timings and a <2x gate-cost regression check,
-# and a scratch-module probe proving a fresh hot-path allocation still fails
-# through the baseline), race-enabled tests, lrsweep golden-JSONL diff, the
+# and scratch-module probes proving a fresh hot-path allocation and a fresh
+# O(nodes) per-event scan still fail through the baseline), race-enabled
+# tests, lrsweep golden-JSONL diff, the
 # serial-vs-parallel sweep bench, the churn-sweep fault-injection bench
 # (BENCH_fault.json), and the tracing gates: traced-sweep metrics must stay
 # byte-equal to the untraced golden, per-run trace directories must be
@@ -54,6 +55,8 @@ grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' "$tmpdir/l
 grep -q '"version": "2.1.0"' "$tmpdir/lint.sarif"
 grep -q '"name": "lrlint"' "$tmpdir/lint.sarif"
 grep -q '"id": "alloc-hotpath"' "$tmpdir/lint.sarif"
+grep -q '"id": "effect-purity"' "$tmpdir/lint.sarif"
+grep -q '"id": "scan-complexity"' "$tmpdir/lint.sarif"
 
 echo "==> lrlint selfbench regression gate (gate_total_ms < 2x committed)"
 new_gate_ms=$(sed -n 's/.*"gate_total_ms": \([0-9.eE+-]*\),*/\1/p' BENCH_lint.json)
@@ -89,6 +92,32 @@ fi
 # And the inverse: a baseline written from the probe findings absorbs them.
 go run ./cmd/lrlint -write-baseline "$tmpdir/probe-baseline.json" "$tmpdir/probe" 2> /dev/null
 go run ./cmd/lrlint -baseline "$tmpdir/probe-baseline.json" "$tmpdir/probe" > /dev/null 2> /dev/null
+
+echo "==> lrlint scan-complexity probe (scratch O(nodes) scan in an event root must fail the gate)"
+mkdir -p "$tmpdir/scanprobe"
+printf 'module scanprobe\n\ngo 1.22\n' > "$tmpdir/scanprobe/go.mod"
+cat > "$tmpdir/scanprobe/scan.go" <<'EOF'
+package scanprobe
+
+//lrlint:population nodes
+type NodeID uint16
+
+//lrlint:eventroot probe
+func Deliver(tbl map[NodeID]int) int {
+	t := 0
+	for id := range tbl {
+		t += tbl[id]
+	}
+	return t
+}
+EOF
+if go run ./cmd/lrlint -baseline lint-baseline.json "$tmpdir/scanprobe" > /dev/null 2>&1; then
+    echo "scan-complexity gate failed: scratch O(nodes) event scan was not caught" >&2
+    exit 1
+fi
+# The write-baseline round trip must absorb scan findings too.
+go run ./cmd/lrlint -write-baseline "$tmpdir/scanprobe-baseline.json" "$tmpdir/scanprobe" 2> /dev/null
+go run ./cmd/lrlint -baseline "$tmpdir/scanprobe-baseline.json" "$tmpdir/scanprobe" > /dev/null 2> /dev/null
 
 echo "==> go test -race ./..."
 go test -race ./...
