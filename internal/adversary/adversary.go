@@ -31,7 +31,7 @@ type Injector struct {
 	interval sim.Time
 
 	template  *packet.Data
-	timer     *sim.Timer
+	timer     sim.Timer
 	sent      int64
 	stopped   bool
 	intensity float64
@@ -137,7 +137,7 @@ type SigFlooder struct {
 	key    puzzle.Key
 	params puzzle.Params
 
-	timer   *sim.Timer
+	timer   sim.Timer
 	sent    int64
 	stopped bool
 }
@@ -218,7 +218,7 @@ type DoRAttacker struct {
 	interval sim.Time
 
 	victimUnits int
-	timer       *sim.Timer
+	timer       sim.Timer
 	sent        int64
 	stopped     bool
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"lrseluge/internal/detmap"
 	"lrseluge/internal/dissem"
 	"lrseluge/internal/packet"
 )
@@ -16,23 +15,38 @@ import (
 // This lets one transmission satisfy many neighbors at once and stops as
 // soon as every neighbor's distance reaches zero — far fewer transmissions
 // than the union policy when losses decorrelate the neighbors' needs.
+//
+// State is laid out for scale: tracking tables are slices indexed by unit,
+// entries are id-sorted slices (iteration order matches the old
+// detmap.SortedKeys map walk bit for bit), and entry bit vectors plus the
+// popularity tally are recycled, so a serving node's footprint is
+// O(pages + neighbors) with no steady-state allocation.
 type Scheduler struct {
 	sizeOf   func(unit int) int
 	neededOf func(unit int) int
-	units    map[int]*trackTable
+	// units is indexed by unit number (bounded by the object's TotalUnits,
+	// i.e. pages+2); nil means no tracking table.
+	units []*trackTable
 	// lastIdx persists the round-robin pointer per unit across tracking
 	// table drain/recreate cycles, so later request rounds continue into
 	// fresh (never-transmitted) encoded packets instead of rescanning from
 	// index 0 — fresh packets help every receiver that still needs any.
-	lastIdx map[int]int
+	// -1 means never transmitted.
+	lastIdx []int
+	// pop is the reusable per-packet popularity tally for Next.
+	pop []int
 }
 
+// trackTable holds one unit's tracking entries, sorted by requester id.
 type trackTable struct {
-	entries map[packet.NodeID]*trackEntry
-	last    int // index of the most recently transmitted packet; -1 initially
+	entries []trackEntry
+	// spare recycles the bit-vector storage of removed entries.
+	spare []packet.BitVector
+	last  int // index of the most recently transmitted packet; -1 initially
 }
 
 type trackEntry struct {
+	id   packet.NodeID
 	bits packet.BitVector
 	dist int
 }
@@ -45,9 +59,36 @@ func NewScheduler(sizeOf, neededOf func(unit int) int) *Scheduler {
 	return &Scheduler{
 		sizeOf:   sizeOf,
 		neededOf: neededOf,
-		units:    make(map[int]*trackTable),
-		lastIdx:  make(map[int]int),
 	}
+}
+
+// tableOf returns the tracking table for a unit, or nil.
+func (s *Scheduler) tableOf(u int) *trackTable {
+	if u < 0 || u >= len(s.units) {
+		return nil
+	}
+	return s.units[u]
+}
+
+// find binary-searches the sorted entries for id, returning its index and
+// whether it is present (the index is the insertion point when absent).
+func (tbl *trackTable) find(id packet.NodeID) (int, bool) {
+	lo, hi := 0, len(tbl.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tbl.entries[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(tbl.entries) && tbl.entries[lo].id == id
+}
+
+// removeAt splices out entry i, recycling its bit-vector storage.
+func (tbl *trackTable) removeAt(i int) {
+	tbl.spare = append(tbl.spare, tbl.entries[i].bits)
+	tbl.entries = append(tbl.entries[:i], tbl.entries[i+1:]...)
 }
 
 // OnSNACK implements dissem.TxPolicy: create or refresh the tracking entry
@@ -60,26 +101,44 @@ func (s *Scheduler) OnSNACK(from packet.NodeID, u int, bits packet.BitVector) {
 	}
 	q := bits.Count()
 	dist := q + s.neededOf(u) - n
-	tbl := s.units[u]
+	tbl := s.tableOf(u)
 	if q == 0 || dist <= 0 {
 		// The requester can already recover the unit; clear any state.
 		if tbl != nil {
-			delete(tbl.entries, from)
+			if i, ok := tbl.find(from); ok {
+				tbl.removeAt(i)
+			}
 			if len(tbl.entries) == 0 {
-				delete(s.units, u)
+				s.units[u] = nil
 			}
 		}
 		return
 	}
 	if tbl == nil {
-		last, ok := s.lastIdx[u]
-		if !ok {
-			last = -1
+		for u >= len(s.units) {
+			s.units = append(s.units, nil)
+			s.lastIdx = append(s.lastIdx, -1)
 		}
-		tbl = &trackTable{entries: make(map[packet.NodeID]*trackEntry), last: last}
+		tbl = &trackTable{last: s.lastIdx[u]}
 		s.units[u] = tbl
 	}
-	tbl.entries[from] = &trackEntry{bits: bits.Clone(), dist: dist}
+	i, ok := tbl.find(from)
+	if ok {
+		tbl.entries[i].bits = tbl.entries[i].bits.CopyFrom(bits)
+		tbl.entries[i].dist = dist
+		return
+	}
+	var store packet.BitVector
+	if n := len(tbl.spare); n > 0 {
+		store = tbl.spare[n-1]
+		tbl.spare = tbl.spare[:n-1]
+		store = store.CopyFrom(bits)
+	} else {
+		store = bits.Clone()
+	}
+	tbl.entries = append(tbl.entries, trackEntry{})
+	copy(tbl.entries[i+1:], tbl.entries[i:])
+	tbl.entries[i] = trackEntry{id: from, bits: store, dist: dist}
 }
 
 // OnDataOverheard implements dissem.TxPolicy: another node just broadcast
@@ -87,24 +146,37 @@ func (s *Scheduler) OnSNACK(from packet.NodeID, u int, bits packet.BitVector) {
 // transmitted it ourselves (requesters in range received it; any that
 // missed it will re-SNACK).
 func (s *Scheduler) OnDataOverheard(u, idx int) {
-	tbl := s.units[u]
+	tbl := s.tableOf(u)
 	if tbl == nil || idx < 0 || idx >= s.sizeOf(u) {
 		return
 	}
-	//lrlint:ignore scan-complexity entries holds only in-range requesters with live SNACKs; trip count is node degree, not network size
-	for _, id := range detmap.SortedKeys(tbl.entries) {
-		e := tbl.entries[id]
+	s.clearColumn(tbl, idx)
+	if len(tbl.entries) == 0 {
+		s.units[u] = nil
+	}
+}
+
+// clearColumn marks packet idx received by every entry that wanted it,
+// dropping entries whose distance reaches zero. Entries are walked in
+// ascending id order with in-place compaction.
+func (s *Scheduler) clearColumn(tbl *trackTable, idx int) {
+	keep := tbl.entries[:0]
+	for i := range tbl.entries {
+		e := &tbl.entries[i]
 		if e.bits.Get(idx) {
 			e.bits.Set(idx, false)
 			e.dist--
 			if e.dist <= 0 {
-				delete(tbl.entries, id)
+				tbl.spare = append(tbl.spare, e.bits)
+				continue
 			}
 		}
+		keep = append(keep, *e)
 	}
-	if len(tbl.entries) == 0 {
-		delete(s.units, u)
+	for i := len(keep); i < len(tbl.entries); i++ {
+		tbl.entries[i] = trackEntry{}
 	}
+	tbl.entries = keep
 }
 
 // Next implements dissem.TxPolicy: serve the lowest pending unit; within it
@@ -117,12 +189,16 @@ func (s *Scheduler) Next() (int, int, bool) {
 			return 0, 0, false
 		}
 		n := s.sizeOf(u)
-		pop := make([]int, n)
+		if cap(s.pop) < n {
+			s.pop = make([]int, n)
+		}
+		pop := s.pop[:n]
+		for j := range pop {
+			pop[j] = 0
+		}
 		maxPop := 0
-		// Integer popularity tallies commute, so entry order cannot leak
-		// into pop[]; sorting here would only cost the hot path.
-		//lrlint:ignore effect-purity per-index vote counts are order-insensitive integer sums
-		for _, e := range tbl.entries { //lrlint:ignore scan-complexity entries holds only in-range requesters with live SNACKs; trip count is node degree
+		for i := range tbl.entries {
+			e := &tbl.entries[i]
 			for j := 0; j < n; j++ {
 				if e.bits.Get(j) {
 					pop[j]++
@@ -135,7 +211,7 @@ func (s *Scheduler) Next() (int, int, bool) {
 		if maxPop == 0 {
 			// Entries with positive distance but no wanted bits cannot
 			// occur for well-formed requests; drop the stale table.
-			delete(s.units, u)
+			s.units[u] = nil
 			continue
 		}
 		// Scan circularly starting just right of the last transmission
@@ -155,21 +231,11 @@ func (s *Scheduler) Next() (int, int, bool) {
 		}
 		// Update the table: clear column `choice`, decrement distances of
 		// the neighbors that wanted it, and drop satisfied entries.
-		//lrlint:ignore scan-complexity entries holds only in-range requesters with live SNACKs; trip count is node degree, not network size
-		for _, id := range detmap.SortedKeys(tbl.entries) {
-			e := tbl.entries[id]
-			if e.bits.Get(choice) {
-				e.bits.Set(choice, false)
-				e.dist--
-				if e.dist <= 0 {
-					delete(tbl.entries, id)
-				}
-			}
-		}
+		s.clearColumn(tbl, choice)
 		tbl.last = choice
 		s.lastIdx[u] = choice
 		if len(tbl.entries) == 0 {
-			delete(s.units, u)
+			s.units[u] = nil
 		}
 		return u, choice, true
 	}
@@ -178,7 +244,7 @@ func (s *Scheduler) Next() (int, int, bool) {
 // Pending implements dissem.TxPolicy.
 func (s *Scheduler) Pending() bool {
 	for _, tbl := range s.units {
-		if len(tbl.entries) > 0 {
+		if tbl != nil && len(tbl.entries) > 0 {
 			return true
 		}
 	}
@@ -189,44 +255,52 @@ func (s *Scheduler) Pending() bool {
 // removes all state for the offending neighbor.
 func (s *Scheduler) DropRequester(from packet.NodeID) {
 	for u, tbl := range s.units {
-		delete(tbl.entries, from)
+		if tbl == nil {
+			continue
+		}
+		if i, ok := tbl.find(from); ok {
+			tbl.removeAt(i)
+		}
 		if len(tbl.entries) == 0 {
-			delete(s.units, u)
+			s.units[u] = nil
 		}
 	}
 }
 
 // Reset implements dissem.TxPolicy.
 func (s *Scheduler) Reset() {
-	s.units = make(map[int]*trackTable)
-	s.lastIdx = make(map[int]int)
+	s.units = nil
+	s.lastIdx = nil
 }
 
 // Tracking returns the current wanted-bit vectors and distances for a unit,
 // exposed for tests reproducing the paper's Table I.
 func (s *Scheduler) Tracking(u int) (map[packet.NodeID]string, map[packet.NodeID]int) {
-	tbl := s.units[u]
+	tbl := s.tableOf(u)
 	if tbl == nil {
 		return nil, nil
 	}
 	bits := make(map[packet.NodeID]string, len(tbl.entries))
 	dist := make(map[packet.NodeID]int, len(tbl.entries))
-	for _, id := range detmap.SortedKeys(tbl.entries) {
-		bits[id] = tbl.entries[id].bits.String()
-		dist[id] = tbl.entries[id].dist
+	for i := range tbl.entries {
+		bits[tbl.entries[i].id] = tbl.entries[i].bits.String()
+		dist[tbl.entries[i].id] = tbl.entries[i].dist
 	}
 	return bits, dist
 }
 
+// lowestUnit returns the lowest unit with live entries, clearing drained
+// tables on the way. The ascending scan reproduces the sorted-key order of
+// the map-based implementation.
 func (s *Scheduler) lowestUnit() (int, *trackTable, bool) {
-	if len(s.units) == 0 {
-		return 0, nil, false
-	}
-	for _, u := range detmap.SortedKeys(s.units) {
-		if len(s.units[u].entries) > 0 {
-			return u, s.units[u], true
+	for u, tbl := range s.units {
+		if tbl == nil {
+			continue
 		}
-		delete(s.units, u)
+		if len(tbl.entries) > 0 {
+			return u, tbl, true
+		}
+		s.units[u] = nil
 	}
 	return 0, nil, false
 }

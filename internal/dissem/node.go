@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 
-	"lrseluge/internal/detmap"
 	"lrseluge/internal/metrics"
 	"lrseluge/internal/packet"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/trace"
 	"lrseluge/internal/trickle"
+	"lrseluge/internal/xrand"
 )
 
 // Node is the shared dissemination state machine. It wires an ObjectHandler
@@ -31,8 +31,11 @@ type Node struct {
 	// tracing (every call site is nil-safe).
 	tr *trace.Tracer
 
-	// servers maps neighbor -> advertised complete-unit count.
-	servers map[packet.NodeID]int
+	// servers lists in-range advertisers and their advertised complete-unit
+	// counts, id-sorted (see serverList).
+	servers serverList
+	// snackCand is the reusable candidate scratch for sendSNACK.
+	snackCand []packet.NodeID
 	// lastAdvertiser is the most recent neighbor whose advertisement
 	// offered units we lack; Deluge directs requests at that node, which
 	// concentrates serving (Trickle suppression means mostly one node
@@ -41,13 +44,13 @@ type Node struct {
 	hasAdvertiser  bool
 
 	requesting   bool
-	snackTimer   *sim.Timer
-	retryTimer   *sim.Timer
+	snackTimer   sim.Timer
+	retryTimer   sim.Timer
 	suppressions int
 	retries      int
 
 	txActive bool
-	txTimer  *sim.Timer
+	txTimer  sim.Timer
 
 	sigPending bool
 	// sigSpan brackets the in-flight signature verification; fetchSpan
@@ -58,7 +61,9 @@ type Node struct {
 	fetchUnit int
 
 	// Denial-of-receipt defense state: data packets requested per
-	// (neighbor, unit) and neighbors being ignored.
+	// (neighbor, unit) and neighbors being ignored. Both maps are nil
+	// until the defense first records anything (most nodes at scale never
+	// serve an over-limit neighbor), and nil again after a reset.
 	served  map[servedKey]int
 	ignored map[servedKey]bool
 
@@ -102,19 +107,20 @@ func NewNode(id packet.NodeID, nw *radio.Network, cfg Config, handler ObjectHand
 	if nw == nil || handler == nil || policy == nil {
 		return nil, fmt.Errorf("dissem: nil dependency")
 	}
+	var src rand.Source = rand.NewSource(seed)
+	if cfg.CompactRNG {
+		src = xrand.NewSplitMix(seed)
+	}
 	n := &Node{
 		id:      id,
 		nw:      nw,
 		eng:     nw.Engine(),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
 		cfg:     cfg,
 		handler: handler,
 		policy:  policy,
 		col:     nw.Collector(),
 		tr:      nw.Tracer(),
-		servers: make(map[packet.NodeID]int),
-		served:  make(map[servedKey]int),
-		ignored: make(map[servedKey]bool),
 	}
 	trk, err := trickle.New(n.eng, n.rng, cfg.Trickle, n.advertise)
 	if err != nil {
@@ -186,9 +192,9 @@ func (n *Node) Crash() {
 	n.Stop()
 	n.handler.WipeVolatile()
 	n.policy.Reset()
-	n.servers = make(map[packet.NodeID]int)
-	n.served = make(map[servedKey]int)
-	n.ignored = make(map[servedKey]bool)
+	n.servers.reset()
+	n.served = nil
+	n.ignored = nil
 	n.hasAdvertiser = false
 	n.setRequesting(false)
 	n.suppressions = 0
@@ -276,16 +282,16 @@ func (n *Node) handleAdv(from packet.NodeID, a *packet.Adv) {
 		n.trk.HearInconsistent()
 	}
 	if theirs > mine {
-		n.servers[from] = theirs
+		n.servers.set(from, theirs)
 		// Stick with the current server while it remains useful; hopping
 		// between advertisers scatters requests and duplicates serving.
-		if !n.hasAdvertiser || n.servers[n.lastAdvertiser] <= mine {
+		if !n.hasAdvertiser || n.servers.get(n.lastAdvertiser) <= mine {
 			n.lastAdvertiser = from
 			n.hasAdvertiser = true
 		}
 		n.maybeStartRequest()
 	} else {
-		delete(n.servers, from)
+		n.servers.remove(from)
 		if n.hasAdvertiser && n.lastAdvertiser == from {
 			n.hasAdvertiser = false
 		}
@@ -302,7 +308,7 @@ func (n *Node) handleSNACK(from packet.NodeID, s *packet.SNACK) {
 		// A request for our unit (or an earlier one) means data we can
 		// overhear is about to flow, so push our own SNACK back.
 		if n.requesting && unit <= n.handler.CompleteUnits() && n.suppressions < n.cfg.MaxSuppressions {
-			if n.snackTimer != nil && n.snackTimer.Stop() {
+			if n.snackTimer.Stop() {
 				n.suppressions++
 				n.scheduleSNACK(n.backoff())
 			}
@@ -318,10 +324,16 @@ func (n *Node) handleSNACK(from packet.NodeID, s *packet.SNACK) {
 		return
 	}
 	if n.cfg.SNACKServeLimit > 0 {
+		if n.served == nil {
+			n.served = make(map[servedKey]int)
+		}
 		n.served[key] += s.Bits.Count()
 		if n.served[key] > n.cfg.SNACKServeLimit {
 			// Denial-of-receipt defense (paper §IV-E): this neighbor has
 			// requested implausibly many packets of one unit; ignore it.
+			if n.ignored == nil {
+				n.ignored = make(map[servedKey]bool)
+			}
 			n.ignored[key] = true
 			n.policy.DropRequester(from)
 			return
@@ -410,7 +422,7 @@ func (n *Node) handleData(from packet.NodeID, d *packet.Data) {
 // postponePendingSNACK pushes back a not-yet-sent SNACK while authenticated
 // data is in the air (Deluge request suppression).
 func (n *Node) postponePendingSNACK() {
-	if n.requesting && n.snackTimer != nil && n.snackTimer.Stop() {
+	if n.requesting && n.snackTimer.Stop() {
 		n.scheduleSNACK(n.backoff())
 	}
 }
@@ -537,9 +549,9 @@ func (n *Node) maybeStartRequest() {
 
 func (n *Node) haveServer() bool {
 	mine := n.handler.CompleteUnits()
-	//lrlint:ignore scan-complexity servers holds only in-range advertisers; trip count is node degree, not network size
-	for _, units := range n.servers {
-		if units > mine {
+	// servers holds only in-range advertisers; trip count is node degree.
+	for i := range n.servers.entries {
+		if n.servers.entries[i].units > mine {
 			return true
 		}
 	}
@@ -566,15 +578,17 @@ func (n *Node) sendSNACK() {
 	mine := n.handler.CompleteUnits()
 	// Pick a server that advertises more units than we have, uniformly at
 	// random for load spreading.
-	// Walking the server map in sorted-ID order keeps the candidate list,
-	// and therefore the rng draw below, identical across runs.
-	candidates := make([]packet.NodeID, 0, len(n.servers))
-	//lrlint:ignore scan-complexity servers holds only in-range advertisers; trip count is node degree, not network size
-	for _, id := range detmap.SortedKeys(n.servers) {
-		if n.servers[id] > mine {
-			candidates = append(candidates, id)
+	// serverList iterates in ascending-id order, which keeps the candidate
+	// list, and therefore the rng draw below, identical across runs (it is
+	// the same order the map-based implementation realized by sorting keys).
+	candidates := n.snackCand[:0]
+	for i := range n.servers.entries {
+		e := &n.servers.entries[i]
+		if e.units > mine {
+			candidates = append(candidates, e.id)
 		}
 	}
+	n.snackCand = candidates
 	if len(candidates) == 0 {
 		n.setRequesting(false)
 		return
@@ -582,7 +596,7 @@ func (n *Node) sendSNACK() {
 	// Prefer the advertiser we heard most recently (Deluge requests "from
 	// that neighbor"); otherwise pick uniformly among candidates.
 	server := packet.NodeID(0)
-	if n.hasAdvertiser && n.servers[n.lastAdvertiser] > mine {
+	if n.hasAdvertiser && n.servers.get(n.lastAdvertiser) > mine {
 		server = n.lastAdvertiser
 	} else {
 		server = candidates[n.rng.Intn(len(candidates))]
@@ -627,7 +641,7 @@ func (n *Node) armRetry() {
 		if n.retries > maxRetriesBeforeMaintain {
 			// Give up; wait for fresh advertisements (MAINTAIN).
 			n.setRequesting(false)
-			n.servers = make(map[packet.NodeID]int)
+			n.servers.reset()
 			n.trk.Reset()
 			return
 		}

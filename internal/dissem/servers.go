@@ -1,0 +1,64 @@
+package dissem
+
+import "lrseluge/internal/packet"
+
+// serverList tracks the in-range advertisers a node may request from, as an
+// id-sorted slice of (neighbor, advertised complete-unit count) pairs. It
+// replaces a map so per-node memory is a few machine words per neighbor and
+// iteration is ascending-id by construction — the exact order the previous
+// implementation realized by sorting map keys, so candidate lists (and the
+// RNG draws they feed) are byte-identical.
+type serverList struct {
+	entries []serverEntry
+}
+
+type serverEntry struct {
+	id    packet.NodeID
+	units int
+}
+
+// find binary-searches for id, returning its index and presence (the index
+// is the insertion point when absent).
+func (l *serverList) find(id packet.NodeID) (int, bool) {
+	lo, hi := 0, len(l.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.entries[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.entries) && l.entries[lo].id == id
+}
+
+// get returns the advertised unit count for id, zero when absent (matching
+// a map's zero-value read).
+func (l *serverList) get(id packet.NodeID) int {
+	if i, ok := l.find(id); ok {
+		return l.entries[i].units
+	}
+	return 0
+}
+
+// set inserts or updates id's advertised unit count.
+func (l *serverList) set(id packet.NodeID, units int) {
+	i, ok := l.find(id)
+	if ok {
+		l.entries[i].units = units
+		return
+	}
+	l.entries = append(l.entries, serverEntry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = serverEntry{id: id, units: units}
+}
+
+// remove deletes id's entry if present.
+func (l *serverList) remove(id packet.NodeID) {
+	if i, ok := l.find(id); ok {
+		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+	}
+}
+
+// reset empties the list, keeping capacity.
+func (l *serverList) reset() { l.entries = l.entries[:0] }

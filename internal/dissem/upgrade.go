@@ -27,7 +27,7 @@ func (n *Node) SetUpgrader(up Upgrader) { n.upgrader = up }
 func (n *Node) Upgrade(handler ObjectHandler, policy TxPolicy) {
 	n.handler = handler
 	n.policy = policy
-	n.servers = make(map[packet.NodeID]int)
+	n.servers.reset()
 	n.hasAdvertiser = false
 	n.setRequesting(false)
 	n.suppressions = 0
@@ -39,8 +39,8 @@ func (n *Node) Upgrade(handler ObjectHandler, policy TxPolicy) {
 	n.sigPending = false
 	n.sigSpan = trace.Span{}
 	n.fetchSpan = trace.Span{}
-	n.served = make(map[servedKey]int)
-	n.ignored = make(map[servedKey]bool)
+	n.served = nil
+	n.ignored = nil
 	n.completed = false
 	// A new version is a new image: its completion must be reported even if
 	// the node already latched a completion for the previous version.

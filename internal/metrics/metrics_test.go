@@ -132,3 +132,37 @@ func TestFaultDropCounter(t *testing.T) {
 		t.Fatalf("fault_drops=%d channel_losses=%d", c.FaultDrops(), c.ChannelLosses())
 	}
 }
+
+func TestDenseCollectorMatchesMapCollector(t *testing.T) {
+	m, d := New(), NewDense(8)
+	for _, c := range []*Collector{m, d} {
+		c.RecordTx(3, &packet.Adv{Src: 3})
+		c.RecordTx(3, &packet.Adv{Src: 3})
+		c.RecordTx(5, &packet.Adv{Src: 5})
+		c.RecordCompletion(2, 100)
+		c.RecordCompletion(2, 50) // first completion wins
+		c.RecordCompletion(7, 400)
+	}
+	if m.NodeTx(3) != d.NodeTx(3) || d.NodeTx(3) != 2 {
+		t.Fatalf("NodeTx(3): map %d dense %d", m.NodeTx(3), d.NodeTx(3))
+	}
+	if m.NodeTx(6) != d.NodeTx(6) || d.NodeTx(6) != 0 {
+		t.Fatalf("NodeTx(6): map %d dense %d", m.NodeTx(6), d.NodeTx(6))
+	}
+	if m.Completions() != d.Completions() || d.Completions() != 2 {
+		t.Fatalf("Completions: map %d dense %d", m.Completions(), d.Completions())
+	}
+	if m.Latency() != d.Latency() || d.Latency() != 400 {
+		t.Fatalf("Latency: map %v dense %v", m.Latency(), d.Latency())
+	}
+	for _, id := range []packet.NodeID{2, 7, 4} {
+		mt, mok := m.CompletionTime(id)
+		dt, dok := d.CompletionTime(id)
+		if mt != dt || mok != dok {
+			t.Fatalf("CompletionTime(%d): map (%v,%v) dense (%v,%v)", id, mt, mok, dt, dok)
+		}
+	}
+	if m.String() != d.String() {
+		t.Fatalf("String differs:\n map  %s\n dense %s", m, d)
+	}
+}

@@ -98,6 +98,18 @@ func (v BitVector) Clone() BitVector {
 	return out
 }
 
+// CopyFrom overwrites v with other's bits, reusing v's backing storage when
+// the lengths match (the allocation-free alternative to Clone for pooled
+// tracking-table entries). It returns the destination, which is freshly
+// allocated only on a length mismatch or zero receiver.
+func (v BitVector) CopyFrom(other BitVector) BitVector {
+	if v.n != other.n || len(v.bits) != len(other.bits) {
+		return other.Clone()
+	}
+	copy(v.bits, other.bits)
+	return v
+}
+
 // Bytes returns the backing bytes (not a copy); used by Marshal.
 func (v BitVector) Bytes() []byte { return v.bits }
 

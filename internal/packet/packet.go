@@ -20,12 +20,17 @@ import (
 	"lrseluge/internal/crypt/sign"
 )
 
-// NodeID identifies a node on the wire. The base station is node 0.
-type NodeID uint16
+// NodeID identifies a node. The base station is node 0. On the wire, ids
+// are serialized as 16-bit mica2-style short addresses (the paper's mote
+// address width); the in-memory type is wider so large in-memory
+// simulations (internal/scale, WireCheck off) can exceed 2^16 nodes. Wire
+// round-trips — Marshal/Parse and radio.Config.WireCheck — are faithful
+// only for ids below 1<<16.
+type NodeID uint32
 
 // Broadcast is the destination used for local broadcast; packets in these
 // protocols are always broadcast, so it appears only in documentation.
-const Broadcast NodeID = 0xffff
+const Broadcast NodeID = 0xffffffff
 
 // Unit indexes a dissemination unit: unit 0 is the signature, unit 1 the
 // hash page M0, units 2..g+1 the image pages 1..g for the secure protocols.

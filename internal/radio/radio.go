@@ -71,6 +71,11 @@ type Network struct {
 	// override.go).
 	fault *FaultOverlay
 
+	// batchPool recycles per-transmission delivery scratch buffers.
+	// Multiple transmissions can be airborne at once (PropDelay overlaps),
+	// so this is a free list, not a single buffer.
+	batchPool [][]delivery
+
 	txObs TxObserver
 
 	// tr records packet lifecycle events; nil (the default) disables
@@ -182,6 +187,33 @@ func (nw *Network) Broadcast(from packet.NodeID, p packet.Packet) {
 // to pace multi-packet responses.
 func (nw *Network) TxBusyUntil(id packet.NodeID) sim.Time { return nw.busyUntil[id] }
 
+// delivery is one surviving receiver of a transmission, collected into a
+// pooled per-transmission batch.
+type delivery struct {
+	to  int
+	rcv Receiver
+}
+
+// getBatch hands out a recycled delivery buffer (possibly nil or undersized:
+// the caller pre-sizes it from the sender's degree).
+func (nw *Network) getBatch() []delivery {
+	if n := len(nw.batchPool); n > 0 {
+		batch := nw.batchPool[n-1]
+		nw.batchPool[n-1] = nil
+		nw.batchPool = nw.batchPool[:n-1]
+		return batch
+	}
+	return nil
+}
+
+// putBatch returns a delivery buffer to the pool.
+func (nw *Network) putBatch(batch []delivery) {
+	for i := range batch {
+		batch[i] = delivery{}
+	}
+	nw.batchPool = append(nw.batchPool, batch[:0])
+}
+
 func (nw *Network) deliver(from packet.NodeID, p packet.Packet) {
 	if nw.cfg.WireCheck {
 		parsed, err := packet.Unmarshal(p.Marshal())
@@ -191,7 +223,12 @@ func (nw *Network) deliver(from packet.NodeID, p packet.Packet) {
 		p = parsed
 	}
 	now := nw.eng.Now()
-	for _, link := range nw.graph.Neighbors(int(from)) {
+	neighbors := nw.graph.Neighbors(int(from))
+	batch := nw.getBatch()
+	if cap(batch) < len(neighbors) {
+		batch = make([]delivery, 0, len(neighbors))
+	}
+	for _, link := range neighbors {
 		to := link.To
 		rcv := nw.nodes[to]
 		if rcv == nil {
@@ -213,12 +250,24 @@ func (nw *Network) deliver(from packet.NodeID, p packet.Packet) {
 			nw.tr.Drop(packet.NodeID(to), from, p, trace.DropChannel)
 			continue
 		}
-		target := rcv
-		//lrlint:ignore alloc-hotpath one scheduled closure per receiver IS the broadcast model; it captures (to, target) and cannot be hoisted without a per-network event-arg pool
-		nw.eng.Schedule(nw.cfg.PropDelay, func() {
-			nw.col.RecordRx(p)
-			nw.tr.Rx(packet.NodeID(to), from, p)
-			target.HandlePacket(from, p)
-		})
+		batch = append(batch, delivery{to: to, rcv: rcv})
 	}
+	if len(batch) == 0 {
+		nw.putBatch(batch)
+		return
+	}
+	// One event delivers the whole batch. This is observation-equivalent to
+	// one event per receiver: the per-receiver events all carried the same
+	// timestamp and consecutive sequence numbers with nothing scheduled
+	// between them, so they executed back-to-back in neighbor order — the
+	// same order the batch loop uses — and every event a handler schedules
+	// draws a later sequence number either way.
+	nw.eng.Schedule(nw.cfg.PropDelay, func() {
+		for _, d := range batch {
+			nw.col.RecordRx(p)
+			nw.tr.Rx(packet.NodeID(d.to), from, p)
+			d.rcv.HandlePacket(from, p)
+		}
+		nw.putBatch(batch)
+	})
 }

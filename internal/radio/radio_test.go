@@ -195,3 +195,44 @@ func TestUnattachedNodesSkipped(t *testing.T) {
 	nw.Broadcast(0, adv(0))
 	eng.RunUntilIdle()
 }
+
+// sink is a no-op receiver for allocation measurements.
+type sink struct{}
+
+func (sink) HandlePacket(packet.NodeID, packet.Packet) {}
+
+// TestBroadcastAllocs pins the steady-state allocation cost of a broadcast:
+// one pooled timer-free tx-complete closure plus one batched delivery event
+// reusing a pooled scratch buffer — NOT one closure per neighbor.
+func TestBroadcastAllocs(t *testing.T) {
+	eng := sim.New()
+	col := metrics.New()
+	g, err := topo.Complete(9) // degree 8: per-neighbor allocation would show up 8x
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(eng, g, NoLoss{}, DefaultConfig(), col, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := nw.Attach(packet.NodeID(i), sink{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := adv(0)
+	// Warm the timer pool and the delivery batch pool.
+	for i := 0; i < 8; i++ {
+		nw.Broadcast(0, p)
+		eng.RunUntilIdle()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		nw.Broadcast(0, p)
+		eng.RunUntilIdle()
+	})
+	// Two closures per broadcast (tx-complete + delivery batch); everything
+	// else (timer records, delivery scratch) comes from pools.
+	if allocs > 2 {
+		t.Fatalf("broadcast allocated %.1f times, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,297 @@
+// Package scale runs LR-Seluge dissemination on large random-disk networks
+// (up to 100k nodes) and reports engine throughput and memory figures.
+//
+// It is the benchmark surface behind cmd/lrscale and BENCH_scale.json: a
+// thin, allocation-conscious wiring of the same components the experiment
+// harness uses (core handlers, the greedy scheduler, the radio layer), but
+// with the compact large-run choices turned on — dense node-indexed metrics
+// (metrics.NewDense), 8-byte SplitMix RNG state per node
+// (dissem.Config.CompactRNG), and a selectable event-queue implementation
+// (sim.QueueKind), so heap-vs-calendar runs can be compared for both speed
+// and byte identity.
+package scale
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lrseluge/internal/core"
+	"lrseluge/internal/crypt/puzzle"
+	"lrseluge/internal/crypt/sign"
+	"lrseluge/internal/dissem"
+	"lrseluge/internal/image"
+	"lrseluge/internal/metrics"
+	"lrseluge/internal/packet"
+	"lrseluge/internal/radio"
+	"lrseluge/internal/sim"
+	"lrseluge/internal/topo"
+)
+
+// Config parameterizes one large-scale run.
+type Config struct {
+	// Nodes is the total node count including the preloaded base station
+	// (node 0). Must be >= 2.
+	Nodes int
+	// TargetDegree sizes the random-disk field so the expected average
+	// degree matches (topo.Disk). Zero means 16.
+	TargetDegree float64
+	// ImageKB is the image size in KiB. Zero means 8.
+	ImageKB int
+	// Seed derives every random stream in the run (topology, radio, image,
+	// per-node RNGs) exactly as the experiment harness does.
+	Seed int64
+	// Queue selects the event-queue implementation.
+	Queue sim.QueueKind
+	// LossP, when positive, applies a Bernoulli loss with that probability.
+	LossP float64
+	// Horizon bounds virtual time. Zero means 4 simulated hours.
+	Horizon sim.Time
+	// CompactRNG backs per-node RNGs with 8-byte SplitMix64 state instead
+	// of math/rand's ~4.9 KB default. The stream differs from the default,
+	// so runs with it on are only comparable to other CompactRNG runs.
+	CompactRNG bool
+	// TraceHash, when true, hashes every transmission (virtual time,
+	// sender, wire bytes) in global order; Report.TraceHash carries the
+	// hex digest. Used by the heap-vs-calendar identity gate.
+	TraceHash bool
+	// SliceEvery is the virtual-time slice between Progress callbacks.
+	// Zero means 60 simulated seconds.
+	SliceEvery sim.Time
+	// Progress, when non-nil, streams a snapshot after each slice, so
+	// 100k-node runs report liveness without accumulating per-slice state.
+	Progress func(Snapshot)
+}
+
+// Snapshot is one incremental progress observation.
+type Snapshot struct {
+	// Now is the virtual time of the observation.
+	Now sim.Time
+	// Completed is how many nodes hold the full image.
+	Completed int
+	// Events is the cumulative count of executed engine events.
+	Events uint64
+	// WallElapsed is real time since the run loop started.
+	WallElapsed time.Duration
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Nodes        int     `json:"nodes"`
+	AvgDegree    float64 `json:"avg_degree"`
+	Queue        string  `json:"queue"`
+	Completed    int     `json:"completed"`
+	LatencySec   float64 `json:"latency_sec"`
+	Events       uint64  `json:"events"`
+	WallMS       int64   `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	TotalBytes   int64   `json:"total_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// PeakRSSKB is the process-wide peak resident set (VmHWM) after the
+	// run, in KiB; zero where /proc is unavailable. It is a whole-process
+	// high-water mark, not a per-run delta, so compare runs from separate
+	// processes only.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
+	// TraceHash is the hex sha256 over the transmission trace when
+	// Config.TraceHash was set, empty otherwise.
+	TraceHash string `json:"trace_hash,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetDegree == 0 {
+		c.TargetDegree = 16
+	}
+	if c.ImageKB == 0 {
+		c.ImageKB = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 4 * 3600 * sim.Second
+	}
+	if c.SliceEvery == 0 {
+		c.SliceEvery = 60 * sim.Second
+	}
+	return c
+}
+
+// Run executes one large-scale LR-Seluge dissemination.
+//
+//lrlint:effects(wallclock,fs) wall-clock time is the reported measurement (events/sec), never simulation input; fs reads /proc for the peak-RSS figure
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		return Report{}, fmt.Errorf("scale: need >= 2 nodes, got %d", cfg.Nodes)
+	}
+
+	graph, err := topo.Disk(cfg.Nodes, cfg.TargetDegree, cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+
+	eng := sim.NewWithQueue(cfg.Queue)
+	col := metrics.NewDense(cfg.Nodes)
+	var loss radio.LossModel = radio.NoLoss{}
+	if cfg.LossP > 0 {
+		loss = radio.Bernoulli{P: cfg.LossP}
+	}
+	nw, err := radio.New(eng, graph, loss, radio.DefaultConfig(), col, cfg.Seed^0x5eed)
+	if err != nil {
+		return Report{}, err
+	}
+
+	var hasher interface{ Sum([]byte) []byte }
+	if cfg.TraceHash {
+		h := sha256.New()
+		var hdr [10]byte
+		nw.SetTxObserver(func(at sim.Time, from packet.NodeID, p packet.Packet) {
+			binary.BigEndian.PutUint64(hdr[0:8], uint64(at))
+			binary.BigEndian.PutUint16(hdr[8:10], uint16(from))
+			h.Write(hdr[:])
+			h.Write(p.Marshal())
+		})
+		hasher = h
+	}
+
+	// Security material, seeded exactly as the experiment harness seeds it.
+	keyPair, err := sign.GenerateDeterministic(cfg.Seed ^ 0xec)
+	if err != nil {
+		return Report{}, err
+	}
+	chain, err := puzzle.NewChain([]byte("lrseluge-experiment"), 8)
+	if err != nil {
+		return Report{}, err
+	}
+	pparams := puzzle.Params{Strength: 8}
+	newSigCtx := func() *dissem.SigContext {
+		return &dissem.SigContext{
+			Pub:        keyPair.Public(),
+			Commitment: chain.Commitment(),
+			Puzzle:     pparams,
+			Col:        col,
+		}
+	}
+
+	const version = 1
+	params := image.DefaultParams()
+	obj, err := core.Build(core.BuildInput{
+		Version: version,
+		Image:   image.Random(cfg.ImageKB*1024, cfg.Seed^0x1337),
+		Params:  params,
+		Key:     keyPair,
+		Chain:   chain,
+		Puzzle:  pparams,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	dcfg := dissem.DefaultConfig()
+	dcfg.CompactRNG = cfg.CompactRNG
+	completed := 0
+	allDone := false
+	nodes := make([]*dissem.Node, 0, cfg.Nodes)
+	for id := 0; id < cfg.Nodes; id++ {
+		var h *core.Handler
+		if id == 0 {
+			h = core.Preload(obj, newSigCtx())
+		} else {
+			h, err = core.NewHandler(version, params, newSigCtx())
+			if err != nil {
+				return Report{}, err
+			}
+		}
+		node, err := dissem.NewNode(packet.NodeID(id), nw, dcfg, h, h.NewPolicy(), cfg.Seed^(int64(id)*0x9e3779b9+1))
+		if err != nil {
+			return Report{}, err
+		}
+		node.SetOnComplete(func(packet.NodeID, sim.Time) {
+			completed++
+			if completed == cfg.Nodes {
+				allDone = true
+				eng.Stop()
+			}
+		})
+		nodes = append(nodes, node)
+	}
+
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	start := time.Now()
+	for next := cfg.SliceEvery; ; next += cfg.SliceEvery {
+		if next > cfg.Horizon {
+			next = cfg.Horizon
+		}
+		now := eng.Run(next)
+		if cfg.Progress != nil {
+			cfg.Progress(Snapshot{
+				Now:         now,
+				Completed:   col.Completions(),
+				Events:      eng.Events(),
+				WallElapsed: time.Since(start),
+			})
+		}
+		// Break on the slice bound, not the engine clock: Run returns the
+		// time of the last executed event, which sits strictly below the
+		// horizon whenever no event lands exactly on it (e.g. an isolated
+		// node keeps the network from completing and the run must end at
+		// the horizon).
+		if allDone || next >= cfg.Horizon || eng.Pending() == 0 {
+			break
+		}
+	}
+	wall := time.Since(start)
+
+	rep := Report{
+		Nodes:        cfg.Nodes,
+		AvgDegree:    graph.AvgDegree(),
+		Queue:        cfg.Queue.String(),
+		Completed:    col.Completions(),
+		LatencySec:   col.Latency().Seconds(),
+		Events:       eng.Events(),
+		WallMS:       wall.Milliseconds(),
+		TotalBytes:   col.TotalBytes(),
+		BytesPerNode: float64(col.TotalBytes()) / float64(cfg.Nodes),
+		PeakRSSKB:    peakRSSKB(),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.EventsPerSec = float64(rep.Events) / secs
+	}
+	if hasher != nil {
+		rep.TraceHash = hex.EncodeToString(hasher.Sum(nil))
+	}
+	return rep, nil
+}
+
+// peakRSSKB reads the process peak resident set (VmHWM) from /proc, in KiB.
+// Returns zero on platforms without procfs.
+func peakRSSKB() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package scale
+
+import (
+	"testing"
+
+	"lrseluge/internal/sim"
+)
+
+// baseConfig is a small instance that finishes quickly in tier-1 CI while
+// still exercising multi-hop forwarding on a disk graph.
+func baseConfig(queue sim.QueueKind) Config {
+	return Config{
+		Nodes:        40,
+		TargetDegree: 12,
+		ImageKB:      2,
+		Seed:         11,
+		Queue:        queue,
+		CompactRNG:   true,
+		TraceHash:    true,
+	}
+}
+
+// TestHeapCalendarByteIdentity is the queue-equivalence gate at the full
+// protocol level: the same seeded run under the heap and calendar queues
+// must produce identical run bytes — the same transmission trace hash and
+// the same metrics — not merely the same aggregate outcome.
+func TestHeapCalendarByteIdentity(t *testing.T) {
+	heap, err := Run(baseConfig(sim.HeapQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.TraceHash == "" || heap.TraceHash != cal.TraceHash {
+		t.Errorf("trace hash differs: heap %s calendar %s", heap.TraceHash, cal.TraceHash)
+	}
+	if heap.Events != cal.Events {
+		t.Errorf("event count differs: heap %d calendar %d", heap.Events, cal.Events)
+	}
+	if heap.Completed != cal.Completed || heap.LatencySec != cal.LatencySec || heap.TotalBytes != cal.TotalBytes {
+		t.Errorf("metrics differ: heap %+v calendar %+v", heap, cal)
+	}
+	if heap.Queue != "heap" || cal.Queue != "calendar" {
+		t.Errorf("queue labels: %q, %q", heap.Queue, cal.Queue)
+	}
+}
+
+func TestRunCompletesAllNodes(t *testing.T) {
+	rep, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Nodes {
+		t.Fatalf("only %d of %d nodes completed", rep.Completed, rep.Nodes)
+	}
+	if rep.LatencySec <= 0 {
+		t.Errorf("non-positive latency %v", rep.LatencySec)
+	}
+	if rep.BytesPerNode <= 0 {
+		t.Errorf("non-positive bytes/node %v", rep.BytesPerNode)
+	}
+}
+
+func TestProgressStreams(t *testing.T) {
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.TraceHash = false
+	cfg.SliceEvery = 5 * sim.Second
+	var snaps []Snapshot
+	cfg.Progress = func(s Snapshot) { snaps = append(snaps, s) }
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots streamed")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != rep.Completed {
+		t.Errorf("final snapshot completed %d, report %d", last.Completed, rep.Completed)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Now < snaps[i-1].Now || snaps[i].Events < snaps[i-1].Events {
+			t.Fatalf("snapshots not monotone at %d: %+v then %+v", i, snaps[i-1], snaps[i])
+		}
+	}
+}
+
+// TestHorizonBoundsRun pins that a run which cannot complete (horizon far
+// too short for dissemination) still terminates at the horizon. The engine
+// clock stops at the last executed event, strictly below the horizon when
+// no event lands exactly on it, so the loop must break on the slice bound —
+// the old clock-based check spun forever.
+func TestHorizonBoundsRun(t *testing.T) {
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.TraceHash = false
+	cfg.Horizon = 3 * sim.Second
+	cfg.SliceEvery = sim.Second
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed >= rep.Nodes {
+		t.Fatalf("run completed %d nodes inside a 3s horizon; the test needs an unfinished run", rep.Completed)
+	}
+}
+
+func TestRunRejectsTinyNetwork(t *testing.T) {
+	if _, err := Run(Config{Nodes: 1}); err == nil {
+		t.Fatal("expected error for 1-node network")
+	}
+}
+
+// TestCompactRNGDeterministic pins that compact-RNG runs are reproducible:
+// two identical configs yield identical trace hashes.
+func TestCompactRNGDeterministic(t *testing.T) {
+	a, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("same config, different trace hashes: %s vs %s", a.TraceHash, b.TraceHash)
+	}
+}

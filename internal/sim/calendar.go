@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// calendarQueue is a calendar queue (R. Brown, CACM 1988): events hash into
+// buckets by firing time, bucket width adapts to the observed event density,
+// and dequeue scans forward from the last popped time one bucket "day" at a
+// time, wrapping around the "year" of nbuckets days. With the width tracking
+// the mean inter-event gap, schedule and pop are O(1) amortized — the win
+// over the O(log n) heap once hundreds of thousands of timers are pending.
+//
+// Determinism: pop order is a pure function of queue content. Buckets
+// partition time, equal timestamps always land in the same bucket, and the
+// per-bucket candidate selection takes the minimum (at, seq) — so PopLE
+// always returns the unique global minimum, exactly like the heap. Resizes
+// rehash deterministically from queue content alone (no randomness, no
+// wall clock), and internal layout can never leak into results.
+//
+// The scan's lower bound (lastAt) must be a true floor over queue content.
+// Pops raise it; Push lowers it when a record predates it — which happens
+// when a cancelled (lazily deleted) future event was popped for recycling
+// while the engine clock, which only advances on live events, lagged behind.
+type calendarQueue struct {
+	buckets [][]*timer
+	mask    int  // len(buckets)-1; bucket count is a power of two
+	shift   uint // bucket width is 1<<shift nanoseconds
+	n       int
+	// occ is a word-level occupancy bitset over buckets (bit i set iff
+	// bucket i is nonempty), letting the year scan jump runs of empty days
+	// 64 at a time — the protocol's gap distribution is bimodal (dense
+	// sub-millisecond bursts separated by long maintenance lulls), so
+	// day-by-day stepping across a lull would cost gap/width iterations.
+	occ    []uint64
+	lastAt Time // time of the most recent successful pop
+	// stage drains same-instant bursts in O(1) per pop. Synchronized
+	// timers are common at scale (e.g. every node's Trickle rollover lands
+	// on the identical nanosecond), piling tens of thousands of events
+	// into one bucket at one timestamp; popping them by bucket rescan
+	// would be quadratic. When a pop's bucket holds more events at the
+	// minimum time, they all move here, sorted by seq once, and pop by
+	// index. Invariants: every staged event has at == stageAt == lastAt;
+	// no queued event is earlier; stage seqs ascend, and any later push at
+	// stageAt carries a larger seq than everything staged (engine seqs are
+	// monotone), so appending preserves the order.
+	stage    []*timer
+	stagePos int
+	stageAt  Time
+	// scanned counts bucket entries examined (plus bucket days stepped) and
+	// pops counts successful dequeues since the last resize; their ratio
+	// drives the adaptive re-width below. Both are pure functions of the
+	// operation sequence, so the trigger is deterministic.
+	scanned int
+	pops    int
+}
+
+const (
+	calMinBuckets = 16
+	// Width clamps: 1<<10 ns ~ 1us (dense same-instant bursts) up to
+	// 1<<36 ns ~ 69s (sparse maintenance timers).
+	calMinShift = 10
+	calMaxShift = 36
+	// calInitShift starts buckets at ~2ms, the order of the protocol's
+	// propagation/backoff delays; the first resize re-estimates from
+	// actual content.
+	calInitShift = 21
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*timer, calMinBuckets),
+		occ:     make([]uint64, (calMinBuckets+63)/64),
+		mask:    calMinBuckets - 1,
+		shift:   calInitShift,
+	}
+}
+
+// Len implements Queue.
+func (q *calendarQueue) Len() int { return q.n }
+
+// bucketOf maps a firing time to its bucket index under the current layout.
+func (q *calendarQueue) bucketOf(at Time) int {
+	return int(uint64(at)>>q.shift) & q.mask
+}
+
+// Push implements Queue.
+//
+//lrlint:hotpath one call per scheduled event
+func (q *calendarQueue) Push(ev *timer) {
+	if q.n >= 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+	if q.stagePos < len(q.stage) && ev.at == q.stageAt {
+		q.stage = append(q.stage, ev)
+		q.n++
+		return
+	}
+	if ev.at < q.lastAt {
+		// A push below the floor also invalidates the stage (staged events
+		// sit at lastAt and must no longer pop first): spill it back.
+		q.unstage()
+		q.lastAt = ev.at
+	}
+	i := q.bucketOf(ev.at)
+	q.buckets[i] = append(q.buckets[i], ev)
+	q.occ[i>>6] |= 1 << (uint(i) & 63)
+	q.n++
+}
+
+// unstage returns staged events to their bucket (rare: only a below-floor
+// push while a same-instant burst is draining).
+func (q *calendarQueue) unstage() {
+	for _, ev := range q.stage[q.stagePos:] {
+		i := q.bucketOf(ev.at)
+		q.buckets[i] = append(q.buckets[i], ev)
+		q.occ[i>>6] |= 1 << (uint(i) & 63)
+	}
+	q.stage = q.stage[:0]
+	q.stagePos = 0
+}
+
+// PopLE implements Queue.
+//
+//lrlint:hotpath one call per executed event
+func (q *calendarQueue) PopLE(horizon Time) *timer {
+	if q.n == 0 {
+		return nil
+	}
+	if q.stagePos < len(q.stage) {
+		if q.stageAt > horizon {
+			return nil
+		}
+		ev := q.stage[q.stagePos]
+		q.stage[q.stagePos] = nil
+		q.stagePos++
+		if q.stagePos == len(q.stage) {
+			q.stage = q.stage[:0]
+			q.stagePos = 0
+		}
+		q.n--
+		q.pops++
+		q.lastAt = ev.at
+		return ev
+	}
+	// Adaptive re-width: bucket width is derived from the event spread at
+	// resize time, but the spread drifts as the simulation evolves (e.g.
+	// Trickle intervals doubling from milliseconds to tens of seconds). A
+	// stale width packs many years into each bucket and every pop degrades
+	// to a long scan — count-triggered resizes never fire because the
+	// pending count is stable. When the mean scan work per pop exceeds its
+	// O(1) budget, rehash at the same size to re-derive the width from the
+	// current content; requiring a year's worth of pops first amortizes the
+	// O(n) rehash to O(1) per pop.
+	if q.pops >= len(q.buckets) && q.scanned > 16*q.pops {
+		q.resize(len(q.buckets))
+	}
+	// Scan one year of bucket days starting at the day containing lastAt.
+	// The first bucket holding an event inside its current-day window
+	// holds the global minimum: days partition time going forward and no
+	// queued event predates lastAt.
+	width := Time(1) << q.shift
+	i := q.bucketOf(q.lastAt)
+	top := (q.lastAt>>Time(q.shift) + 1) << Time(q.shift)
+	for step := 0; step <= q.mask; {
+		j, d := q.nextOccupied(i)
+		if j < 0 || step+d > q.mask {
+			// No occupied day remains inside this year.
+			break
+		}
+		step += d
+		top += width * Time(d)
+		i = j
+		q.scanned += len(q.buckets[i]) + 1
+		if k := q.minInBucketBelow(i, top); k >= 0 {
+			return q.take(i, k, horizon)
+		}
+		i = (i + 1) & q.mask
+		step++
+		top += width
+	}
+	q.scanned += q.n
+	// Every event lies at least a full year ahead of lastAt (a long idle
+	// gap, e.g. only maintenance timers left): fall back to a direct
+	// search for the global minimum.
+	bi, bj := -1, -1
+	var best *timer
+	for ii := range q.buckets {
+		for jj, ev := range q.buckets[ii] {
+			if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best, bi, bj = ev, ii, jj
+			}
+		}
+	}
+	return q.take(bi, bj, horizon)
+}
+
+// nextOccupied returns the index of the first nonempty bucket at or after i
+// (wrapping) together with the number of buckets stepped to reach it, or
+// (-1, 0) when every bucket is empty.
+func (q *calendarQueue) nextOccupied(i int) (int, int) {
+	nb := q.mask + 1
+	w := i >> 6
+	if word := q.occ[w] >> (uint(i) & 63); word != 0 {
+		d := bits.TrailingZeros64(word)
+		return i + d, d
+	}
+	for k := 1; k <= len(q.occ); k++ {
+		wi := w + k
+		if wi >= len(q.occ) {
+			wi -= len(q.occ)
+		}
+		if word := q.occ[wi]; word != 0 {
+			j := wi<<6 + bits.TrailingZeros64(word)
+			d := j - i
+			if d <= 0 {
+				d += nb
+			}
+			return j, d
+		}
+	}
+	return -1, 0
+}
+
+// minInBucketBelow returns the index of the minimum-(at, seq) event in bucket
+// i with at < top, or -1 if the bucket holds none in that window.
+func (q *calendarQueue) minInBucketBelow(i int, top Time) int {
+	b := q.buckets[i]
+	bestIdx := -1
+	var best *timer
+	for j, ev := range b {
+		if ev.at >= top {
+			continue
+		}
+		if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+			best, bestIdx = ev, j
+		}
+	}
+	return bestIdx
+}
+
+// take removes buckets[i][j] and returns it, unless its time is beyond the
+// horizon, in which case the queue is left untouched and take returns nil.
+// Further events in the bucket at the same instant move to the stage so the
+// burst drains in O(1) per pop instead of by repeated bucket rescans.
+func (q *calendarQueue) take(i, j int, horizon Time) *timer {
+	ev := q.buckets[i][j]
+	if ev.at > horizon {
+		return nil
+	}
+	b := q.buckets[i]
+	last := len(b) - 1
+	b[j] = b[last]
+	b[last] = nil
+	b = b[:last]
+	// Partition out the rest of the same-instant burst, preserving the
+	// bucket's remaining entries in place.
+	keep := b[:0]
+	for _, e := range b {
+		if e.at == ev.at {
+			q.stage = append(q.stage, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for k := len(keep); k < len(b); k++ {
+		b[k] = nil
+	}
+	q.buckets[i] = keep
+	if len(keep) == 0 {
+		q.occ[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	if len(q.stage) > 0 {
+		sort.Slice(q.stage, func(a, c int) bool { return q.stage[a].seq < q.stage[c].seq })
+		q.stageAt = ev.at
+		q.stagePos = 0
+	}
+	q.n--
+	q.pops++
+	q.lastAt = ev.at
+	if q.n < len(q.buckets)/4 && len(q.buckets) > calMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return ev
+}
+
+// resize rehashes into newNB buckets, re-estimating the bucket width as ~3x
+// the mean inter-event gap of the current content (Brown's rule), clamped to
+// [calMinShift, calMaxShift]. The estimate depends only on queue content, so
+// resizing is deterministic.
+func (q *calendarQueue) resize(newNB int) {
+	old := q.buckets
+	if q.n > 0 {
+		var minAt, maxAt Time
+		first := true
+		for _, b := range old {
+			for _, ev := range b {
+				if first {
+					minAt, maxAt, first = ev.at, ev.at, false
+					continue
+				}
+				if ev.at < minAt {
+					minAt = ev.at
+				}
+				if ev.at > maxAt {
+					maxAt = ev.at
+				}
+			}
+		}
+		gap := (maxAt - minAt) * 3 / Time(q.n)
+		shift := uint(bits.Len64(uint64(gap)))
+		if shift < calMinShift {
+			shift = calMinShift
+		}
+		if shift > calMaxShift {
+			shift = calMaxShift
+		}
+		q.shift = shift
+	}
+	q.buckets = make([][]*timer, newNB)
+	q.occ = make([]uint64, (newNB+63)/64)
+	q.mask = newNB - 1
+	q.scanned, q.pops = 0, 0
+	// Rehash appends are amortized: each pending event moves once per
+	// doubling/halving, not per scheduled event, so resize is deliberately
+	// not an alloc-hotpath root.
+	for _, b := range old {
+		for _, ev := range b {
+			i := q.bucketOf(ev.at)
+			q.buckets[i] = append(q.buckets[i], ev)
+			q.occ[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+// heapQueue is the reference Queue: a hand-rolled binary min-heap over
+// (at, seq). It is hand-rolled rather than container/heap so Push and PopLE
+// take the concrete *timer without interface indirection and the sift code
+// stays visible to the alloc-hotpath pass.
+type heapQueue struct {
+	evs []*timer
+}
+
+func newHeapQueue() *heapQueue { return &heapQueue{} }
+
+// Len implements Queue.
+func (q *heapQueue) Len() int { return len(q.evs) }
+
+func (q *heapQueue) less(i, j int) bool {
+	a, b := q.evs[i], q.evs[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push implements Queue.
+//
+//lrlint:hotpath one call per scheduled event
+func (q *heapQueue) Push(ev *timer) {
+	q.evs = append(q.evs, ev)
+	q.up(len(q.evs) - 1)
+}
+
+// PopLE implements Queue.
+//
+//lrlint:hotpath one call per executed event
+func (q *heapQueue) PopLE(horizon Time) *timer {
+	if len(q.evs) == 0 || q.evs[0].at > horizon {
+		return nil
+	}
+	ev := q.evs[0]
+	last := len(q.evs) - 1
+	q.evs[0] = q.evs[last]
+	q.evs[last] = nil
+	q.evs = q.evs[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return ev
+}
+
+func (q *heapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		i = parent
+	}
+}
+
+func (q *heapQueue) down(i int) {
+	n := len(q.evs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.evs[i], q.evs[min] = q.evs[min], q.evs[i]
+		i = min
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// runQueueScript drives one engine, built on the given queue kind, with a
+// deterministic op stream decoded from data, and returns the full firing log
+// plus final engine observables. Identical logs across queue kinds prove the
+// queues pop in identical (time, seq) order under scheduling, nested
+// scheduling, lazy deletion, and horizon-bounded runs.
+func runQueueScript(kind QueueKind, data []byte) []string {
+	eng := NewWithQueue(kind)
+	var log []string
+	var handles []Timer
+	nextID := 0
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	for pos < len(data) {
+		switch op := next(); op % 5 {
+		case 0, 1: // schedule
+			id := nextID
+			nextID++
+			delay := Time(next()) * Millisecond / 3
+			handles = append(handles, eng.Schedule(delay, func() {
+				log = append(log, fmt.Sprintf("fire %d @%d", id, eng.Now()))
+			}))
+		case 2: // schedule an event that schedules another on firing
+			id := nextID
+			nextID++
+			delay := Time(next()) * Millisecond
+			inner := Time(next()) * Microsecond
+			eng.Schedule(delay, func() {
+				log = append(log, fmt.Sprintf("outer %d @%d", id, eng.Now()))
+				eng.Schedule(inner, func() {
+					log = append(log, fmt.Sprintf("inner %d @%d", id, eng.Now()))
+				})
+			})
+		case 3: // stop one outstanding handle (lazy delete)
+			if len(handles) > 0 {
+				i := int(next()) % len(handles)
+				stopped := handles[i].Stop()
+				log = append(log, fmt.Sprintf("stop %d %v", i, stopped))
+			}
+		case 4: // bounded run
+			h := eng.Now() + Time(next())*Millisecond/2
+			at := eng.Run(h)
+			log = append(log, fmt.Sprintf("ran to %d", at))
+		}
+	}
+	at := eng.RunUntilIdle()
+	log = append(log, fmt.Sprintf("idle @%d events=%d pending=%d", at, eng.Events(), eng.Pending()))
+	return log
+}
+
+func diffLogs(t *testing.T, data []byte) {
+	t.Helper()
+	h := runQueueScript(HeapQueue, data)
+	c := runQueueScript(CalendarQueue, data)
+	if len(h) != len(c) {
+		t.Fatalf("log lengths differ: heap %d vs calendar %d\nheap: %v\ncalendar: %v", len(h), len(c), h, c)
+	}
+	for i := range h {
+		if h[i] != c[i] {
+			t.Fatalf("logs diverge at %d: heap %q vs calendar %q", i, h[i], c[i])
+		}
+	}
+}
+
+// TestQueueEquivalence is the deterministic differential test: long random
+// op streams must produce identical firing logs under both queues.
+func TestQueueEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		data := make([]byte, 400)
+		rng.Read(data)
+		diffLogs(t, data)
+	}
+}
+
+// TestQueueEquivalenceBulk pushes enough timers through to force calendar
+// resizes in both directions, then checks pop order against the heap.
+func TestQueueEquivalenceBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hq := newHeapQueue()
+	cq := newCalendarQueue()
+	eng := &Engine{} // records need an engine for the live counter
+	var seq uint64
+	push := func(at Time) {
+		h := &timer{at: at, seq: seq, eng: eng}
+		c := &timer{at: at, seq: seq, eng: eng}
+		seq++
+		hq.Push(h)
+		cq.Push(c)
+	}
+	// Dense phase: 10k events over ~10s, with same-instant bursts.
+	for i := 0; i < 10000; i++ {
+		at := Time(rng.Intn(10_000)) * Millisecond
+		push(at)
+		if i%17 == 0 {
+			push(at) // duplicate timestamp: seq must break the tie
+		}
+	}
+	var floor Time
+	for hq.Len() > 0 {
+		h := hq.PopLE(MaxTime)
+		c := cq.PopLE(MaxTime)
+		if c == nil || h.at != c.at || h.seq != c.seq {
+			t.Fatalf("bulk pop diverged: heap (%v,%d) vs calendar %v", h.at, h.seq, c)
+		}
+		if h.at < floor {
+			t.Fatalf("pop order not monotone: %v after %v", h.at, floor)
+		}
+		floor = h.at
+		// Interleave new pushes (never before the pop floor, matching the
+		// engine's clamp) to exercise resize-down then resize-up churn.
+		if hq.Len() < 100 && seq < 30000 {
+			for i := 0; i < 50; i++ {
+				push(floor + Time(rng.Intn(5_000_000)))
+			}
+		}
+	}
+	if cq.Len() != 0 {
+		t.Fatalf("calendar retains %d events after heap drained", cq.Len())
+	}
+}
+
+// TestCalendarDirectSearchFallback covers the sparse case: the next event
+// lies many bucket-years past the last pop, so the year scan gives up and
+// the direct search must still find the global minimum.
+func TestCalendarDirectSearchFallback(t *testing.T) {
+	eng := NewWithQueue(CalendarQueue)
+	var order []int
+	eng.Schedule(Millisecond, func() { order = append(order, 1) })
+	// Far beyond one year of initial buckets (16 buckets x 2ms).
+	eng.Schedule(2*Second+Millisecond, func() { order = append(order, 3) })
+	eng.Schedule(2*Second, func() { order = append(order, 2) })
+	eng.Schedule(3000*Second, func() { order = append(order, 4) })
+	eng.RunUntilIdle()
+	if len(order) != 4 {
+		t.Fatalf("fired %v", order)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("sparse events out of order: %v", order)
+		}
+	}
+	if eng.Now() != 3000*Second {
+		t.Fatalf("clock %v, want 3000s", eng.Now())
+	}
+}
+
+// TestCalendarHorizonLeavesQueueIntact pins PopLE's contract: a pop bounded
+// by a horizon before the next event must not disturb queue state.
+func TestCalendarHorizonLeavesQueueIntact(t *testing.T) {
+	eng := NewWithQueue(CalendarQueue)
+	fired := false
+	eng.Schedule(10*Second, func() { fired = true })
+	for i := 0; i < 5; i++ {
+		eng.Run(Time(i) * Second)
+		if fired {
+			t.Fatal("event fired before its time")
+		}
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", eng.Pending())
+	}
+	eng.Run(10 * Second)
+	if !fired {
+		t.Fatal("event never fired")
+	}
+}
+
+// FuzzQueueEquivalence fuzzes the differential harness: any byte stream must
+// produce identical firing logs under heap and calendar queues.
+func FuzzQueueEquivalence(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"))
+	f.Add([]byte("scheduler stop run idle"))
+	f.Add([]byte{0, 200, 3, 7, 4, 250, 0, 0, 2, 90, 90, 3, 0, 4, 255})
+	f.Add([]byte{2, 255, 255, 2, 0, 1, 4, 1, 0, 128, 3, 1, 3, 2, 4, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip()
+		}
+		diffLogs(t, data)
+	})
+}

@@ -5,10 +5,15 @@
 // makes runs fully reproducible for a fixed seed. The engine is
 // single-threaded by design: protocol code runs inside event callbacks and
 // must not block.
+//
+// Two event-queue implementations sit behind the Queue interface: a binary
+// min-heap (the reference) and a calendar queue with O(1) amortized
+// schedule/pop for large-scale runs. Both pop events in exactly the same
+// (time, sequence) order, so the choice cannot affect simulation results;
+// TestQueueEquivalence and FuzzQueueEquivalence pin this.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -40,75 +45,132 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // String formats the virtual time as a duration.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Timer is a handle to a scheduled event. A Timer may be stopped before it
-// fires; stopping an already-fired or already-stopped timer is a no-op.
-type Timer struct {
+// timer is the pooled event record that lives inside the queue. Records are
+// recycled through the engine free list once popped (fired or lazily deleted),
+// with gen incremented at each recycle so stale Timer handles cannot touch
+// the record's next life.
+type timer struct {
 	at      Time
 	seq     uint64
 	fn      func()
-	index   int // heap index, -1 once popped or stopped
+	eng     *Engine
+	gen     uint32
 	stopped bool
 }
 
+// Timer is a value handle to a scheduled event. The zero value is an inert
+// handle: Stop reports false and Active reports false. A Timer may be stopped
+// before it fires; stopping an already-fired or already-stopped timer is a
+// no-op, even after the underlying record has been recycled for a later
+// event (the generation stamp detects staleness).
+type Timer struct {
+	ev  *timer
+	gen uint32
+	at  Time
+}
+
 // Stop cancels the timer. It reports whether the timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.index < 0 {
+// Cancellation is lazy: the record stays queued until its firing time and is
+// discarded (and recycled) when popped.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.stopped {
 		return false
 	}
-	t.stopped = true
+	ev.stopped = true
+	ev.fn = nil
+	ev.eng.live--
 	return true
 }
 
+// Active reports whether the timer is still scheduled to fire.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.stopped
+}
+
 // At reports the virtual time the timer is (or was) scheduled to fire.
-func (t *Timer) At() Time { return t.at }
+func (t Timer) At() Time { return t.at }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Timer
+// QueueKind selects the event-queue implementation for an Engine.
+type QueueKind int
 
-func (q eventQueue) Len() int { return len(q) }
+const (
+	// HeapQueue is the reference binary min-heap: O(log n) schedule/pop,
+	// no tuning parameters.
+	HeapQueue QueueKind = iota
+	// CalendarQueue is the bucketed calendar queue: O(1) amortized
+	// schedule/pop, built for runs with 10k-100k concurrently pending
+	// events. Pop order is identical to HeapQueue by construction.
+	CalendarQueue
+)
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// String names the queue kind as accepted by ParseQueueKind.
+func (k QueueKind) String() string {
+	switch k {
+	case HeapQueue:
+		return "heap"
+	case CalendarQueue:
+		return "calendar"
 	}
-	return q[i].seq < q[j].seq
+	return fmt.Sprintf("QueueKind(%d)", int(k))
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// ParseQueueKind parses a queue-kind name ("heap" or "calendar").
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "heap":
+		return HeapQueue, nil
+	case "calendar":
+		return CalendarQueue, nil
+	}
+	return 0, fmt.Errorf("sim: unknown queue kind %q (want heap or calendar)", s)
 }
 
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+// Queue is the engine's event-queue abstraction: a priority queue ordered by
+// (time, sequence). Implementations must pop the unique minimum, so every
+// Queue yields byte-identical simulations. The element type is unexported;
+// implementations live in this package and are selected via QueueKind.
+type Queue interface {
+	// Push inserts an event record. The engine guarantees ev.at is never
+	// earlier than the engine clock, but it may predate the most recently
+	// popped record: cancelled future events are popped (for recycling)
+	// without advancing the clock.
+	Push(ev *timer)
+	// PopLE removes and returns the earliest event if its time is at or
+	// before horizon, or returns nil (leaving the queue untouched).
+	PopLE(horizon Time) *timer
+	// Len reports the number of queued records, including lazily deleted
+	// (stopped but not yet popped) ones.
+	Len() int
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
-// use.
+// use and is backed by the heap queue.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   Queue
+	free    []*timer
+	live    int
 	running bool
 	stopped bool
 	events  uint64
 }
 
-// New returns a fresh engine with the clock at zero.
+// New returns a fresh engine with the clock at zero, backed by the reference
+// heap queue.
 func New() *Engine { return &Engine{} }
+
+// NewWithQueue returns a fresh engine backed by the given queue kind.
+func NewWithQueue(kind QueueKind) *Engine {
+	e := &Engine{}
+	if kind == CalendarQueue {
+		e.queue = newCalendarQueue()
+	} else {
+		e.queue = newHeapQueue()
+	}
+	return e
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -116,13 +178,15 @@ func (e *Engine) Now() Time { return e.now }
 // Events returns the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.events }
 
-// Pending returns the number of events currently scheduled (including stopped
-// timers that have not yet been reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live (scheduled and not stopped) timers.
+// Lazily deleted records still inside the queue are not counted.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule arranges for fn to run after the given delay. A negative delay is
 // treated as zero. It returns a Timer that may be used to cancel the event.
-func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+//
+//lrlint:hotpath one call per scheduled event; must stay allocation-free on the pooled path
+func (e *Engine) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -130,18 +194,44 @@ func (e *Engine) Schedule(delay Time, fn func()) *Timer {
 }
 
 // At arranges for fn to run at the given absolute virtual time. Times in the
-// past are clamped to the present.
-func (e *Engine) At(at Time, fn func()) *Timer {
+// past are clamped to the present. Timer records come from a free list, so
+// steady-state scheduling does not allocate.
+//
+//lrlint:hotpath one call per scheduled event; must stay allocation-free on the pooled path
+func (e *Engine) At(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if at < e.now {
 		at = e.now
 	}
-	t := &Timer{at: at, seq: e.seq, fn: fn}
+	if e.queue == nil {
+		e.queue = newHeapQueue()
+	}
+	var ev *timer
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &timer{eng: e}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.stopped = false
 	e.seq++
-	heap.Push(&e.queue, t)
-	return t
+	e.live++
+	e.queue.Push(ev)
+	return Timer{ev: ev, gen: ev.gen, at: at}
+}
+
+// recycle returns a popped record to the free list. The generation bump
+// invalidates every outstanding handle to the record's previous life.
+func (e *Engine) recycle(ev *timer) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the event currently being processed completes.
@@ -160,20 +250,23 @@ func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+	for e.queue != nil && !e.stopped {
+		ev := e.queue.PopLE(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.stopped {
+		if ev.stopped {
+			e.recycle(ev)
 			continue
 		}
-		e.now = next.at
+		e.now = ev.at
 		e.events++
-		next.fn()
+		e.live--
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
-	if e.now < until && until != MaxTime && len(e.queue) == 0 {
+	if e.now < until && until != MaxTime && (e.queue == nil || e.queue.Len() == 0) {
 		// The queue drained before the horizon: advance the clock so
 		// repeated Run calls observe monotonic time.
 		e.now = until
@@ -186,5 +279,5 @@ func (e *Engine) RunUntilIdle() Time { return e.Run(MaxTime) }
 
 // String summarizes engine state, mostly for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%v pending=%d executed=%d}", e.now, len(e.queue), e.events)
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d executed=%d}", e.now, e.live, e.events)
 }

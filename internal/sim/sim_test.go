@@ -81,10 +81,99 @@ func TestTimerStop(t *testing.T) {
 	}
 }
 
-func TestStopNilTimerIsSafe(t *testing.T) {
-	var tm *Timer
+func TestStopZeroValueTimerIsSafe(t *testing.T) {
+	var tm Timer
 	if tm.Stop() {
-		t.Fatal("nil timer Stop should report false")
+		t.Fatal("zero-value timer Stop should report false")
+	}
+	if tm.Active() {
+		t.Fatal("zero-value timer should not be active")
+	}
+}
+
+func TestPendingCountsLiveTimers(t *testing.T) {
+	eng := New()
+	t1 := eng.Schedule(Second, func() {})
+	eng.Schedule(2*Second, func() {})
+	eng.Schedule(3*Second, func() {})
+	if eng.Pending() != 3 {
+		t.Fatalf("pending %d, want 3", eng.Pending())
+	}
+	t1.Stop()
+	if eng.Pending() != 2 {
+		t.Fatalf("pending after stop %d, want 2 (stopped timers are not live)", eng.Pending())
+	}
+	eng.Run(2 * Second)
+	if eng.Pending() != 1 {
+		t.Fatalf("pending after partial run %d, want 1", eng.Pending())
+	}
+	eng.RunUntilIdle()
+	if eng.Pending() != 0 {
+		t.Fatalf("pending after drain %d, want 0", eng.Pending())
+	}
+}
+
+func TestTimerActive(t *testing.T) {
+	eng := New()
+	tm := eng.Schedule(Second, func() {})
+	if !tm.Active() {
+		t.Fatal("scheduled timer should be active")
+	}
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("stopped timer should not be active")
+	}
+	tm2 := eng.Schedule(Second, func() {})
+	eng.RunUntilIdle()
+	if tm2.Active() {
+		t.Fatal("fired timer should not be active")
+	}
+}
+
+// TestStaleHandleCannotStopRecycledTimer pins the pooling contract: once a
+// timer record fires and is recycled into a new event, handles to its old
+// life must no-op.
+func TestStaleHandleCannotStopRecycledTimer(t *testing.T) {
+	eng := New()
+	old := eng.Schedule(Millisecond, func() {})
+	eng.RunUntilIdle()
+	if old.Stop() {
+		t.Fatal("Stop on fired timer should report false")
+	}
+	fired := false
+	fresh := eng.Schedule(Millisecond, func() { fired = true })
+	if fresh.ev != old.ev {
+		t.Fatal("pool did not recycle the fired record (test assumes a single record)")
+	}
+	if old.Stop() {
+		t.Fatal("stale handle stopped a recycled timer")
+	}
+	if !fresh.Active() {
+		t.Fatal("stale Stop deactivated the recycled timer")
+	}
+	eng.RunUntilIdle()
+	if !fired {
+		t.Fatal("recycled timer did not fire")
+	}
+}
+
+// TestTimerPoolReusesRecords pins the free list: steady-state scheduling
+// after warm-up allocates nothing.
+func TestTimerPoolReusesRecords(t *testing.T) {
+	eng := New()
+	fn := func() {}
+	// Warm the pool and the queue's backing array.
+	for i := 0; i < 64; i++ {
+		eng.Schedule(Time(i)*Millisecond, fn)
+	}
+	eng.RunUntilIdle()
+	allocs := testing.AllocsPerRun(100, func() {
+		tm := eng.Schedule(Millisecond, fn)
+		tm.Stop()
+		eng.RunUntilIdle() // reap so the record returns to the pool
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/stop/run allocated %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -162,6 +162,20 @@ func RandomDisk(n int, side float64, seed int64) (*Graph, error) {
 	return g, nil
 }
 
+// Disk builds an n-node random-disk topology sized so the expected average
+// degree matches targetDegree: a node covers pi*CommRange^2 of the square, so
+// side = sqrt(n*pi*CommRange^2/targetDegree) yields ~targetDegree expected
+// in-range neighbors (edge effects thin the boundary slightly). This is the
+// constructor the large-scale runner uses: callers pick a density, not a
+// field size.
+func Disk(n int, targetDegree float64, seed int64) (*Graph, error) {
+	if targetDegree <= 0 {
+		return nil, fmt.Errorf("topo: target degree must be positive, got %f", targetDegree)
+	}
+	side := math.Sqrt(float64(n) * math.Pi * CommRange * CommRange / targetDegree)
+	return RandomDisk(n, side, seed)
+}
+
 // connectByRange links every pair of nodes within commRange. Candidates come
 // from a uniform grid of commRange-sized cells: a node's neighbors can only
 // live in its own cell or the eight surrounding ones, so each node examines

@@ -236,3 +236,37 @@ func BenchmarkConnectByRange(b *testing.B) {
 		})
 	}
 }
+
+func TestDiskTargetDegree(t *testing.T) {
+	for _, target := range []float64{12, 24} {
+		g, err := Disk(4000, target, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.AvgDegree()
+		// Edge effects thin the boundary; accept a wide but meaningful band.
+		if got < target*0.7 || got > target*1.2 {
+			t.Errorf("Disk(4000, %v): avg degree %.1f outside [%.1f, %.1f]", target, got, target*0.7, target*1.2)
+		}
+	}
+}
+
+func TestDiskRejectsBadDegree(t *testing.T) {
+	if _, err := Disk(100, 0, 1); err == nil {
+		t.Fatal("expected error for zero target degree")
+	}
+}
+
+func TestDiskDeterministic(t *testing.T) {
+	a, _ := Disk(500, 16, 3)
+	b, _ := Disk(500, 16, 3)
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Position(i) != b.Position(i) {
+			t.Fatalf("node %d position differs across identical seeds", i)
+		}
+		la, lb := a.Neighbors(i), b.Neighbors(i)
+		if len(la) != len(lb) {
+			t.Fatalf("node %d degree differs across identical seeds", i)
+		}
+	}
+}

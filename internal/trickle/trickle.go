@@ -47,8 +47,8 @@ type Trickle struct {
 
 	interval sim.Time
 	counter  int
-	fire     *sim.Timer
-	rollover *sim.Timer
+	fire     sim.Timer
+	rollover sim.Timer
 	running  bool
 }
 

@@ -1,0 +1,50 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The compile-time interface check lives here rather than in the package
+// body so no package-level variable holds RNG state (rng-stream-discipline).
+var _ rand.Source64 = (*SplitMix)(nil)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := NewSplitMix(42), NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitMixKnownVector(t *testing.T) {
+	// Pinned SplitMix64 output for seed 1234567; any change to the mixing
+	// constants or shift structure breaks run reproducibility at scale.
+	s := NewSplitMix(1234567)
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i, w := range want {
+		if v := s.Uint64(); v != w {
+			t.Fatalf("draw %d: got %#x, want %#x", i, v, w)
+		}
+	}
+}
+
+func TestSplitMixSeedResets(t *testing.T) {
+	s := NewSplitMix(7)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(7)
+	if v := s.Uint64(); v != first {
+		t.Fatalf("Seed did not reset the stream: %#x != %#x", v, first)
+	}
+}
+
+func TestSplitMixInt63NonNegative(t *testing.T) {
+	s := NewSplitMix(-9)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"lrseluge/internal/image"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/runstore"
+	"lrseluge/internal/scale"
 	"lrseluge/internal/sim"
 	"lrseluge/internal/topo"
 	"lrseluge/internal/trace"
@@ -326,3 +327,34 @@ type RunStoreOptions = runstore.Options
 func OpenRunStore(dir string, opts RunStoreOptions) (*RunStore, error) {
 	return runstore.Open(dir, opts)
 }
+
+// --- Large-scale simulation (DESIGN.md §14) ---
+
+// QueueKind selects the event-queue implementation backing a simulation
+// engine: the reference binary heap or the O(1)-amortized calendar queue
+// used for large runs. Both produce byte-identical event orderings.
+type QueueKind = sim.QueueKind
+
+// Event queue implementations.
+const (
+	// HeapQueue is the reference binary-heap event queue.
+	HeapQueue = sim.HeapQueue
+	// CalendarQueue is the bucketed O(1)-amortized event queue.
+	CalendarQueue = sim.CalendarQueue
+)
+
+// ScaleConfig parameterizes one large-scale LR-Seluge run (up to 100k nodes
+// on a random-disk multi-hop graph).
+type ScaleConfig = scale.Config
+
+// ScaleReport carries the throughput and memory figures of one large run.
+type ScaleReport = scale.Report
+
+// ScaleSnapshot is one incremental progress observation streamed during a
+// large run.
+type ScaleSnapshot = scale.Snapshot
+
+// RunScale executes one large-scale LR-Seluge dissemination and reports
+// engine throughput (events/sec), communication cost per node, and peak
+// RSS. See cmd/lrscale for the benchmark artifact around it.
+func RunScale(cfg ScaleConfig) (ScaleReport, error) { return scale.Run(cfg) }

@@ -18,7 +18,11 @@
 # byte-identical), the lrsweep incremental-store rerun (warm pass all-cached
 # and byte-identical to the cold pass), and the lrserved load bench
 # (BENCH_served.json), whose cache-hit p99 must sit at least 100x below the
-# cold-miss compute time.
+# cold-miss compute time. The scale gates: the lrscale -identity smoke (one
+# seeded run under the heap and calendar event queues must produce identical
+# transmission-trace hashes and metrics) and an n=10k benchmark rerun whose
+# events/sec must not regress below half the committed BENCH_scale.json
+# figure.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -177,6 +181,20 @@ ident=$(sed -n 's/.*"identical": \([a-z]*\).*/\1/p' BENCH_served.json)
 awk -v r="$ratio" -v id="$ident" 'BEGIN {
     if (r == "" || r + 0 < 100) { print "served gate: cold_to_hit_p99 " r " < 100"; exit 1 }
     if (id != "true") { print "served gate: hit bodies not byte-identical"; exit 1 }
+}'
+
+echo "==> lrscale identity smoke (heap vs calendar queue, byte-identical run)"
+go run ./cmd/lrscale -identity
+
+echo "==> lrscale n=10k regression gate (events/sec >= half the committed figure)"
+prev_eps=$(sed -n 's/.*"events_per_sec_10k": \([0-9.eE+-]*\),*/\1/p' BENCH_scale.json 2>/dev/null || true)
+go run ./cmd/lrscale -nodes 10000 -q -o "$tmpdir/scale.json"
+new_eps=$(sed -n 's/.*"events_per_sec_10k": \([0-9.eE+-]*\),*/\1/p' "$tmpdir/scale.json")
+awk -v prev="$prev_eps" -v new="$new_eps" 'BEGIN {
+    if (new == "" || new + 0 <= 0) { print "scale gate: missing events_per_sec_10k"; exit 1 }
+    if (prev != "" && new + 0 < (prev + 0) / 2) {
+        print "scale gate: events/sec regressed to " new " vs committed " prev; exit 1
+    }
 }'
 
 echo "OK"
