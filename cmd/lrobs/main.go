@@ -1,0 +1,144 @@
+// Command lrobs renders the observability artifacts produced by instrumented
+// runs: wall-time attribution tables (lrscale -obs-dir, Report.Obs) and
+// runtime snapshot series (the obs sampler's JSONL). Output is a
+// deterministic function of the input bytes.
+//
+// Subcommands:
+//
+//	lrobs attr [-json] attr.json            attribution table, aligned text
+//	lrobs snapshots [-json] run.snapshots.jsonl   snapshot series as a table
+//
+// Exit codes: 0 success, 1 I/O or decode errors, 2 usage errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"lrseluge/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() int {
+	fmt.Fprint(os.Stderr, `usage: lrobs <command> [flags] <file>
+
+commands:
+  attr       [-json] attr.json             render a wall-time attribution table
+  snapshots  [-json] run.snapshots.jsonl   render a runtime snapshot series
+`)
+	return 2
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "attr":
+		return cmdAttr(args[1:])
+	case "snapshots":
+		return cmdSnapshots(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "lrobs: unknown command %q\n", args[0])
+		return usage()
+	}
+}
+
+// parseOne splits args into an optional leading -json flag and exactly one
+// input path ("-" = stdin).
+func parseOne(cmd string, args []string) (path string, asJSON bool, ok bool) {
+	for _, a := range args {
+		switch {
+		case a == "-json":
+			asJSON = true
+		case path == "":
+			path = a
+		default:
+			fmt.Fprintf(os.Stderr, "lrobs %s: unexpected argument %q\n", cmd, a)
+			return "", false, false
+		}
+	}
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "lrobs %s: an input file is required ('-' = stdin)\n", cmd)
+		return "", false, false
+	}
+	return path, asJSON, true
+}
+
+// open returns the input stream for path ("-" = stdin).
+func open(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "lrobs: %v\n", err)
+	return 1
+}
+
+func cmdAttr(args []string) int {
+	path, asJSON, ok := parseOne("attr", args)
+	if !ok {
+		return 2
+	}
+	r, err := open(path)
+	if err != nil {
+		return fail(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fail(err)
+	}
+	a, err := obs.DecodeAttribution(data)
+	if err != nil {
+		return fail(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if err := a.WriteText(os.Stdout); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+func cmdSnapshots(args []string) int {
+	path, asJSON, ok := parseOne("snapshots", args)
+	if !ok {
+		return 2
+	}
+	r, err := open(path)
+	if err != nil {
+		return fail(err)
+	}
+	defer r.Close()
+	snaps, err := obs.ReadSnapshots(r)
+	if err != nil {
+		return fail(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snaps); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if err := obs.WriteSnapshotText(os.Stdout, snaps); err != nil {
+		return fail(err)
+	}
+	return 0
+}

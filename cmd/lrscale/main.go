@@ -11,6 +11,12 @@
 // the same seeded run under both event-queue implementations must produce
 // identical transmission-trace hashes and metrics. It exits non-zero on any
 // divergence, making it suitable as a CI gate.
+//
+// Observability: -obs installs internal/obs phase timers and prints each
+// run's wall-time attribution table (also embedded in the JSON row); -obs-dir
+// additionally writes per-size attribution JSON and runtime-snapshot JSONL
+// artifacts for cmd/lrobs; -http serves live pprof//metrics//progress while
+// runs execute; -obsbench measures obs overhead into BENCH_obs.json.
 package main
 
 import (
@@ -18,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"lrseluge/internal/obs"
 	"lrseluge/internal/scale"
 	"lrseluge/internal/sim"
 )
@@ -47,6 +55,12 @@ func main() {
 		identity  = flag.Bool("identity", false, "run the heap-vs-calendar byte-identity smoke and exit")
 		idNodes   = flag.Int("identity-nodes", 200, "network size for the -identity smoke")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		obsOn     = flag.Bool("obs", false, "install phase timers and print per-run wall-time attribution")
+		obsDir    = flag.String("obs-dir", "", "directory for per-size attribution JSON + snapshot JSONL artifacts (implies -obs)")
+		httpAddr  = flag.String("http", "", "serve live pprof//metrics//progress on this address while runs execute")
+		obsbench  = flag.Bool("obsbench", false, "measure obs overhead (disabled + enabled) and exit")
+		obsbOut   = flag.String("obsbench-o", "BENCH_obs.json", "output path for -obsbench")
+		obsbNodes = flag.Int("obsbench-nodes", 2000, "network size for -obsbench")
 	)
 	flag.Parse()
 
@@ -56,6 +70,32 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *obsbench {
+		if err := runObsbench(*obsbNodes, *kb, *seed, *degree, *obsbOut, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "lrscale:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsDir != "" {
+		*obsOn = true
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lrscale:", err)
+			os.Exit(1)
+		}
+	}
+
+	var board *obs.Board
+	if *httpAddr != "" {
+		board = &obs.Board{}
+		addr, shutdown, err := obs.Serve(*httpAddr, obs.ServeOptions{Progress: board})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lrscale:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "lrscale: live telemetry on http://%s (pprof /debug/pprof/, /metrics, /progress)\n", addr)
 	}
 
 	queue, err := sim.ParseQueueKind(*queueFlag)
@@ -83,6 +123,20 @@ func main() {
 			Seed:         *seed,
 			Queue:        queue,
 			CompactRNG:   true,
+			Board:        board,
+		}
+		if *obsOn {
+			cfg.Obs = obs.NewTimers()
+		}
+		var snapFile *os.File
+		if *obsDir != "" {
+			f, err := os.Create(filepath.Join(*obsDir, fmt.Sprintf("n%d.snapshots.jsonl", n)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lrscale:", err)
+				os.Exit(1)
+			}
+			snapFile = f
+			cfg.Sampler = obs.NewSampler(f)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "lrscale: n=%d queue=%s ...\n", n, queue)
@@ -96,9 +150,41 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lrscale:", err)
 			os.Exit(1)
 		}
+		if snapFile != nil {
+			if err := cfg.Sampler.Flush(); err == nil {
+				err = snapFile.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lrscale: snapshots:", err)
+				os.Exit(1)
+			}
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "lrscale: n=%d done: completed=%d/%d wall=%dms events/sec=%.0f bytes/node=%.0f rss=%dKB\n",
 				n, rep.Completed, rep.Nodes, rep.WallMS, rep.EventsPerSec, rep.BytesPerNode, rep.PeakRSSKB)
+		}
+		// An incomplete run is never silent, -q or not: a benchmark row
+		// where nodes missed the image is a different experiment.
+		if rep.Incomplete > 0 {
+			fmt.Fprintf(os.Stderr, "lrscale: WARNING: n=%d run incomplete: %d of %d nodes missing the image at the horizon\n",
+				n, rep.Incomplete, rep.Nodes)
+		}
+		if rep.Obs != nil {
+			if err := rep.Obs.WriteText(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "lrscale:", err)
+				os.Exit(1)
+			}
+			if *obsDir != "" {
+				data, err := json.MarshalIndent(rep.Obs, "", "  ")
+				if err == nil {
+					data = append(data, '\n')
+					err = os.WriteFile(filepath.Join(*obsDir, fmt.Sprintf("n%d.attr.json", n)), data, 0o644)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "lrscale: attribution:", err)
+					os.Exit(1)
+				}
+			}
 		}
 		bf.Rows = append(bf.Rows, rep)
 		if n == 10000 {

@@ -10,6 +10,7 @@
 //	lrsweep -sweep fig4 -runs 3 -csv fig4.csv -o fig4.jsonl -progress
 //	lrsweep -sweep smoke -runs 4 -selfbench BENCH_sweep.json
 //	lrsweep -sweep smoke -quick -runs 2 -trace-dir traces/ -o smoke.jsonl
+//	lrsweep -sweep fig4 -runs 3 -timeout 5m -flight-dir flight/ -o fig4.jsonl
 //	lrsweep -sweep smoke -quick -runs 2 -tracebench BENCH_trace.json
 //	lrsweep -sweep fig4 -runs 3 -store results/ -code-version v7 -o fig4-cells.jsonl
 //
@@ -40,6 +41,7 @@ import (
 
 	"lrseluge/internal/experiment"
 	"lrseluge/internal/harness"
+	"lrseluge/internal/obs"
 	"lrseluge/internal/runstore"
 	"lrseluge/internal/served"
 	"lrseluge/internal/trace"
@@ -63,11 +65,13 @@ func run() int {
 		progress   = flag.Bool("progress", false, "report per-run progress on stderr")
 		selfbench  = flag.String("selfbench", "", "benchmark mode: run the sweep serially then with -parallel workers, verify byte-identical JSONL, write timings to this JSON file")
 		traceDir   = flag.String("trace-dir", "", "write one JSONL protocol trace per run into this directory (analyze with lrtrace)")
+		flightDir  = flag.String("flight-dir", "", "keep a bounded flight record per run; when a run panics or times out, dump its last trace events and state into this directory")
 		tracebench = flag.String("tracebench", "", "benchmark mode: run the sweep untraced twice then traced, verify identical metrics, write tracer-overhead timings to this JSON file")
 		storeDir   = flag.String("store", "", "incremental mode: consult this run-store directory per cell, compute only the misses, and emit one JSONL line per cell (see lrserved)")
 		codeVer    = flag.String("code-version", "dev", "code-version stamp mixed into store keys (with -store)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
+		httpAddr   = flag.String("http", "", "serve live telemetry (pprof, /metrics, /progress) on this address while the sweep runs")
 	)
 	flag.Parse()
 
@@ -106,8 +110,8 @@ func run() int {
 	}
 
 	if *storeDir != "" {
-		if *csvPath != "" || *traceDir != "" || *selfbench != "" || *tracebench != "" {
-			fmt.Fprintln(os.Stderr, "lrsweep: -store is incompatible with -csv, -trace-dir, -selfbench and -tracebench")
+		if *csvPath != "" || *traceDir != "" || *flightDir != "" || *selfbench != "" || *tracebench != "" {
+			fmt.Fprintln(os.Stderr, "lrsweep: -store is incompatible with -csv, -trace-dir, -flight-dir, -selfbench and -tracebench")
 			return 2
 		}
 		spec := experiment.SweepSpec{Runs: *runs, Seed: *seed, Quick: *quick}
@@ -155,25 +159,72 @@ func run() int {
 		sinks = append(sinks, harness.NewCSVSink(f, experiment.MetricNames()))
 	}
 
+	jobs := sweepJobs(*sweep, entries)
 	runFn := experiment.GridRunFunc
-	if *traceDir != "" {
-		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+
+	// With -flight-dir, every job gets a bounded flight recorder fed from its
+	// trace stream. Recorders are created up front on this goroutine (indexed
+	// by job position, which harness.Run assigns as Job.Index) so the
+	// harness's dump-on-timeout path never races recorder creation.
+	var flightRecs []*obs.FlightRecorder
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
 			return 1
 		}
-		dir := *traceDir
-		// One file per job, named by job index: every run owns its file, so
-		// the trace bytes stay worker-count invariant.
-		runFn = experiment.TracedRunFunc(func(j harness.Job) (trace.Sink, func() error, error) {
-			f, err := os.Create(filepath.Join(dir, traceFileName(j)))
-			if err != nil {
-				return nil, nil, err
+		flightRecs = make([]*obs.FlightRecorder, len(jobs))
+		for i, j := range jobs {
+			fr := obs.NewFlightRecorder(flightRingCap)
+			fr.SetOutput(filepath.Join(*flightDir, flightFileName(i, j.Name)))
+			fr.SetState("job", j.Name)
+			for _, p := range j.Params {
+				fr.SetState(p.Key, p.Value)
 			}
-			return trace.NewJSONLSink(f), f.Close, nil
+			flightRecs[i] = fr
+		}
+	}
+
+	if *traceDir != "" || flightRecs != nil {
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+				return 1
+			}
+		}
+		tdir := *traceDir
+		// One file per job, named by job index: every run owns its file, so
+		// the trace bytes stay worker-count invariant. The flight sink rides
+		// the same per-job stream, teed when both are requested.
+		runFn = experiment.TracedRunFunc(func(j harness.Job) (trace.Sink, func() error, error) {
+			var sinks []trace.Sink
+			var closeFn func() error
+			if tdir != "" {
+				f, err := os.Create(filepath.Join(tdir, traceFileName(j)))
+				if err != nil {
+					return nil, nil, err
+				}
+				sinks = append(sinks, trace.NewJSONLSink(f))
+				closeFn = f.Close
+			}
+			if flightRecs != nil {
+				sinks = append(sinks, trace.NewFlightSink(flightRecs[j.Index]))
+			}
+			if len(sinks) == 1 {
+				return sinks[0], closeFn, nil
+			}
+			return trace.NewTee(sinks...), closeFn, nil
 		})
 	}
 
 	cfg := harness.Config{Workers: *parallel, Timeout: *timeout}
+	if flightRecs != nil {
+		cfg.Flight = func(j harness.Job) harness.FlightDumper {
+			if fr := flightRecs[j.Index]; fr != nil {
+				return fr
+			}
+			return nil
+		}
+	}
 	start := time.Now()
 	if *progress {
 		cfg.OnRecord = func(done, total int, r harness.Record) {
@@ -185,7 +236,33 @@ func run() int {
 				done, total, r.Job.Name, status, time.Since(start).Seconds())
 		}
 	}
-	recs, err := harness.Run(sweepJobs(*sweep, entries), runFn, cfg, sinks...)
+	if *httpAddr != "" {
+		board := &obs.Board{}
+		bound, shutdown, err := obs.Serve(*httpAddr, obs.ServeOptions{Progress: board})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
+			return 1
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "lrsweep: live telemetry on http://%s\n", bound)
+		failedSoFar := 0
+		prev := cfg.OnRecord
+		// OnRecord runs on the merging goroutine, so the counter and board
+		// need no locking.
+		cfg.OnRecord = func(done, total int, r harness.Record) {
+			if r.Failed() {
+				failedSoFar++
+			}
+			board.Publish(sweepProgress{
+				Done: done, Total: total, Failed: failedSoFar,
+				LastJob: r.Job.Name, ElapsedSec: time.Since(start).Seconds(),
+			})
+			if prev != nil {
+				prev(done, total, r)
+			}
+		}
+	}
+	recs, err := harness.Run(jobs, runFn, cfg, sinks...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrsweep: %v\n", err)
 		return 1
@@ -264,12 +341,36 @@ func runIncremental(storeDir, sweep string, spec experiment.SweepSpec, codeVersi
 	return nil
 }
 
+// sweepProgress is the /progress JSON published while a sweep runs.
+type sweepProgress struct {
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Failed     int     `json:"failed"`
+	LastJob    string  `json:"last_job"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// flightRingCap bounds each job's flight recorder: enough trace tail to see
+// what the run was doing when it died, small enough that a wide sweep keeps
+// thousands of recorders resident without noticeable memory cost.
+const flightRingCap = 512
+
 // traceFileName maps a job onto its trace file: the job index keeps names
 // unique and sorted in job order, the sanitized job name keeps them readable.
 func traceFileName(j harness.Job) string {
-	name := make([]byte, 0, len(j.Name))
-	for i := 0; i < len(j.Name); i++ {
-		c := j.Name[i]
+	return fmt.Sprintf("%04d-%s.jsonl", j.Index, sanitizeJobName(j.Name))
+}
+
+// flightFileName is the post-mortem dump path for one job, mirroring the
+// trace naming scheme.
+func flightFileName(index int, name string) string {
+	return fmt.Sprintf("%04d-%s.flight.txt", index, sanitizeJobName(name))
+}
+
+func sanitizeJobName(jobName string) string {
+	name := make([]byte, 0, len(jobName))
+	for i := 0; i < len(jobName); i++ {
+		c := jobName[i]
 		switch {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
 			c == '.', c == '_', c == '=', c == '-':
@@ -278,7 +379,7 @@ func traceFileName(j harness.Job) string {
 			name = append(name, '-')
 		}
 	}
-	return fmt.Sprintf("%04d-%s.jsonl", j.Index, name)
+	return string(name)
 }
 
 // writeMemProfile snapshots the heap after a final GC.

@@ -8,6 +8,7 @@ import (
 	"lrseluge/internal/dissem"
 	"lrseluge/internal/erasure"
 	"lrseluge/internal/image"
+	"lrseluge/internal/obs"
 	"lrseluge/internal/packet"
 )
 
@@ -257,9 +258,13 @@ func (h *Handler) ingestM0(d *packet.Data) dissem.IngestResult {
 	if idx < 0 || idx >= h.geom.numEnc || len(d.Payload) != h.geom.blockSize || len(d.Proof) != h.geom.depth {
 		return dissem.Rejected
 	}
+	ot := h.sigCtx.Obs
+	ot.StartLeaf(obs.PhaseHashVerify)
 	if !merkle.Verify(h.root, d.Payload, idx, d.Proof) {
+		ot.EndLeaf(obs.PhaseHashVerify)
 		return dissem.Rejected
 	}
+	ot.EndLeaf(obs.PhaseHashVerify)
 	if h.m0Shards[idx] != nil {
 		return dissem.Duplicate
 	}
@@ -268,15 +273,21 @@ func (h *Handler) ingestM0(d *packet.Data) dissem.IngestResult {
 	if h.m0Count < h.codec0.KPrime() {
 		return dissem.Stored
 	}
+	ot.Start(obs.PhaseRSDecode)
 	plain, err := h.codec0.Decode(h.m0Shards)
+	ot.End(obs.PhaseRSDecode)
 	if err != nil {
 		return dissem.Stored // cannot happen with an MDS code; wait for more
 	}
+	ot.Start(obs.PhaseRSEncode)
 	enc, err := h.codec0.Encode(plain)
+	ot.End(obs.PhaseRSEncode)
 	if err != nil {
 		return dissem.Stored
 	}
+	ot.Start(obs.PhaseHashVerify)
 	tree, err := merkle.Build(enc)
+	ot.End(obs.PhaseHashVerify)
 	if err != nil || tree.Root() != h.root {
 		// All stored shards were individually authenticated, so this is
 		// unreachable; reset defensively.
@@ -300,9 +311,13 @@ func (h *Handler) ingestPage(d *packet.Data) dissem.IngestResult {
 	if len(h.expected) != h.params.N {
 		return dissem.Rejected // no authentication material (should not happen page-by-page)
 	}
+	ot := h.sigCtx.Obs
+	ot.StartLeaf(obs.PhaseHashVerify)
 	if hashx.Sum(d.AuthBody()) != h.expected[idx] {
+		ot.EndLeaf(obs.PhaseHashVerify)
 		return dissem.Rejected
 	}
+	ot.EndLeaf(obs.PhaseHashVerify)
 	if h.curShards[idx] != nil {
 		return dissem.Duplicate
 	}
@@ -311,7 +326,9 @@ func (h *Handler) ingestPage(d *packet.Data) dissem.IngestResult {
 	if h.curCount < h.codec.KPrime() {
 		return dissem.Stored
 	}
+	ot.Start(obs.PhaseRSDecode)
 	blocks, err := h.codec.Decode(h.curShards)
+	ot.End(obs.PhaseRSDecode)
 	if err != nil {
 		return dissem.Stored
 	}
@@ -339,9 +356,15 @@ func (h *Handler) Authentic(d *packet.Data) bool {
 	idx := int(d.Index)
 	switch {
 	case u == 1:
-		return idx >= 0 && idx < h.geom.numEnc &&
-			len(d.Payload) == h.geom.blockSize && len(d.Proof) == h.geom.depth &&
-			merkle.Verify(h.root, d.Payload, idx, d.Proof)
+		if idx < 0 || idx >= h.geom.numEnc ||
+			len(d.Payload) != h.geom.blockSize || len(d.Proof) != h.geom.depth {
+			return false
+		}
+		ot := h.sigCtx.Obs
+		ot.StartLeaf(obs.PhaseHashVerify)
+		ok := merkle.Verify(h.root, d.Payload, idx, d.Proof)
+		ot.EndLeaf(obs.PhaseHashVerify)
+		return ok
 	case u >= 2:
 		if idx < 0 || idx >= h.params.N || len(d.Payload) != h.params.PacketPayload || len(d.Proof) != 0 {
 			return false
@@ -356,7 +379,11 @@ func (h *Handler) Authentic(d *packet.Data) bool {
 		default:
 			return false
 		}
-		return hashx.Sum(d.AuthBody()) == hashes[idx]
+		ot := h.sigCtx.Obs
+		ot.StartLeaf(obs.PhaseHashVerify)
+		ok := hashx.Sum(d.AuthBody()) == hashes[idx]
+		ot.EndLeaf(obs.PhaseHashVerify)
+		return ok
 	default:
 		return false
 	}
@@ -421,7 +448,10 @@ func (h *Handler) encodedPage(page int) ([][]byte, error) {
 	if h.pageEnc[page] != nil {
 		return h.pageEnc[page], nil
 	}
+	ot := h.sigCtx.Obs
+	ot.Start(obs.PhaseRSEncode)
 	enc, err := h.codec.Encode(h.pageBlocks[page])
+	ot.End(obs.PhaseRSEncode)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"lrseluge/internal/crypt/puzzle"
 	"lrseluge/internal/crypt/sign"
 	"lrseluge/internal/metrics"
+	"lrseluge/internal/obs"
 	"lrseluge/internal/packet"
 )
 
@@ -17,6 +18,9 @@ type SigContext struct {
 	Commitment puzzle.Key
 	Puzzle     puzzle.Params
 	Col        *metrics.Collector
+	// Obs, when non-nil, attributes puzzle/signature/hash wall time to the
+	// crypt phases; the core handlers share the context's timers too.
+	Obs *obs.Timers
 }
 
 // WeakCheck performs the cheap filter: the puzzle key must belong to the
@@ -25,15 +29,14 @@ type SigContext struct {
 // unless the adversary spends a brute-force search per packet (paper
 // §IV-C.3), which is what makes signature-flooding DoS unattractive.
 func (c *SigContext) WeakCheck(s *packet.Sig) bool {
-	if !puzzle.VerifyKey(c.Commitment, s.PuzzleKey, int(s.Version)) {
+	c.Obs.Start(obs.PhasePuzzle)
+	ok := puzzle.VerifyKey(c.Commitment, s.PuzzleKey, int(s.Version)) &&
+		puzzle.Verify(c.Puzzle, s.PuzzleMessage(), s.PuzzleKey, s.PuzzleSol)
+	c.Obs.End(obs.PhasePuzzle)
+	if !ok {
 		c.reject()
-		return false
 	}
-	if !puzzle.Verify(c.Puzzle, s.PuzzleMessage(), s.PuzzleKey, s.PuzzleSol) {
-		c.reject()
-		return false
-	}
-	return true
+	return ok
 }
 
 // FullVerify performs the expensive ECDSA verification over the bound
@@ -42,7 +45,10 @@ func (c *SigContext) FullVerify(s *packet.Sig) bool {
 	if c.Col != nil {
 		c.Col.RecordSigVerification()
 	}
-	return c.Pub.Verify(s.SignedMessage(), s.Signature)
+	c.Obs.Start(obs.PhaseSigVerify)
+	ok := c.Pub.Verify(s.SignedMessage(), s.Signature)
+	c.Obs.End(obs.PhaseSigVerify)
+	return ok
 }
 
 func (c *SigContext) reject() {

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lrseluge/internal/obs"
+)
+
+// stubDumper records dump reasons; safe for the concurrent worker pool.
+type stubDumper struct {
+	mu      sync.Mutex
+	reasons []string
+}
+
+func (d *stubDumper) Dump(reason string) error {
+	d.mu.Lock()
+	d.reasons = append(d.reasons, reason)
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *stubDumper) dumped() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.reasons...)
+}
+
+// TestFlightDumpOnPanic verifies a panicking job triggers exactly its own
+// flight dump, carrying the panic message, while healthy jobs dump nothing.
+// Both execute paths (with and without a timeout budget) must dump.
+func TestFlightDumpOnPanic(t *testing.T) {
+	for _, timeout := range []time.Duration{0, time.Minute} {
+		dumpers := make([]*stubDumper, 4)
+		for i := range dumpers {
+			dumpers[i] = &stubDumper{}
+		}
+		fn := func(j Job) ([]Metric, error) {
+			if j.Payload.(int) == 2 {
+				panic("boom")
+			}
+			return []Metric{{Name: "ok", Value: 1}}, nil
+		}
+		cfg := Config{
+			Workers: 2,
+			Timeout: timeout,
+			Flight:  func(j Job) FlightDumper { return dumpers[j.Index] },
+		}
+		recs, err := Run(echoJobs(4), fn, cfg)
+		if err != nil {
+			t.Fatalf("timeout=%v: Run: %v", timeout, err)
+		}
+		if !recs[2].Panicked {
+			t.Fatalf("timeout=%v: job 2 not recorded as panicked: %+v", timeout, recs[2])
+		}
+		got := dumpers[2].dumped()
+		if len(got) != 1 || !strings.Contains(got[0], "panic: boom") {
+			t.Errorf("timeout=%v: panicked job dumps = %q, want one panic reason", timeout, got)
+		}
+		for i, d := range dumpers {
+			if i != 2 && len(d.dumped()) != 0 {
+				t.Errorf("timeout=%v: healthy job %d dumped: %q", timeout, i, d.dumped())
+			}
+		}
+	}
+}
+
+// TestFlightDumpOnTimeout is the post-mortem contract end to end with a real
+// obs.FlightRecorder: the hung job's goroutine keeps appending to its
+// recorder while the harness takes the dump, and the dump file lands on disk
+// with the timeout reason, the job state, and recent events.
+func TestFlightDumpOnTimeout(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	defer close(release)
+
+	recs := make([]*obs.FlightRecorder, 3)
+	for i := range recs {
+		fr := obs.NewFlightRecorder(8)
+		fr.SetOutput(filepath.Join(dir, fmt.Sprintf("job-%d.flight.txt", i)))
+		fr.SetState("job", fmt.Sprintf("job-%02d", i))
+		recs[i] = fr
+	}
+	fn := func(j Job) ([]Metric, error) {
+		i := j.Payload.(int)
+		if i == 1 {
+			// Hammer the recorder until the test ends so the dump below is
+			// taken while writes are in flight.
+			for {
+				select {
+				case <-release:
+					return nil, nil
+				default:
+					recs[1].RecordLine([]byte(`{"ev":"tick"}`))
+				}
+			}
+		}
+		return []Metric{{Name: "ok", Value: 1}}, nil
+	}
+	cfg := Config{
+		Workers: 3,
+		Timeout: 25 * time.Millisecond,
+		Flight:  func(j Job) FlightDumper { return recs[j.Index] },
+	}
+	out, err := Run(echoJobs(3), fn, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out[1].Failed() || !strings.Contains(out[1].Err, "timeout") {
+		t.Fatalf("hung record = %+v, want timeout failure", out[1])
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "job-1.flight.txt"))
+	if err != nil {
+		t.Fatalf("timed-out job left no dump: %v", err)
+	}
+	dump := string(data)
+	for _, want := range []string{"flight dump", "timeout", "job=job-01", `{"ev":"tick"}`} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	for i := 0; i < 3; i += 2 {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("job-%d.flight.txt", i))); err == nil {
+			t.Errorf("healthy job %d left a dump", i)
+		}
+	}
+}
+
+// TestFlightNilDumper verifies a Flight callback returning nil for some jobs
+// disables dumping for them without breaking the sweep.
+func TestFlightNilDumper(t *testing.T) {
+	fn := func(j Job) ([]Metric, error) {
+		panic("every job dies")
+	}
+	d := &stubDumper{}
+	cfg := Config{
+		Workers: 2,
+		Flight: func(j Job) FlightDumper {
+			if j.Index == 0 {
+				return d
+			}
+			return nil
+		},
+	}
+	out, err := Run(echoJobs(3), fn, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range out {
+		if !r.Panicked {
+			t.Errorf("job %d not panicked: %+v", i, r)
+		}
+	}
+	if got := d.dumped(); len(got) != 1 {
+		t.Errorf("job 0 dumps = %q, want exactly one", got)
+	}
+}

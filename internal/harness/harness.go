@@ -93,6 +93,20 @@ type Config struct {
 	// the record. It runs on the merging goroutine, so implementations need
 	// no locking.
 	OnRecord func(done, total int, r Record)
+
+	// Flight, when non-nil, maps a job to its flight recorder (or nil for
+	// none). When the job panics or times out, the harness dumps the
+	// recorder so the failure is diagnosable after the fact. The recorder
+	// must tolerate concurrent writes during the dump: a timed-out job's
+	// abandoned goroutine keeps running while the dump is taken.
+	Flight func(Job) FlightDumper
+}
+
+// FlightDumper is the dump side of a flight recorder (satisfied by
+// *obs.FlightRecorder). Dump flushes the retained record to stable storage
+// with the failure reason.
+type FlightDumper interface {
+	Dump(reason string) error
 }
 
 // Run executes every job through fn across the worker pool and returns the
@@ -128,7 +142,7 @@ func Run(jobs []Job, fn RunFunc, cfg Config, sinks ...Sink) ([]Record, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobCh {
-				resCh <- execute(jobs[idx], fn, cfg.Timeout)
+				resCh <- execute(jobs[idx], fn, cfg)
 			}
 		}()
 	}
@@ -173,7 +187,7 @@ func Run(jobs []Job, fn RunFunc, cfg Config, sinks ...Sink) ([]Record, error) {
 // timed-out run can be abandoned without taking the worker down with it.
 //
 //lrlint:effects(spawn) the run goroutine lets a timed-out job be abandoned; its sole result is consumed synchronously
-func execute(job Job, fn RunFunc, timeout time.Duration) Record {
+func execute(job Job, fn RunFunc, cfg Config) Record {
 	resCh := make(chan Record, 1)
 	go func() {
 		defer func() {
@@ -190,18 +204,45 @@ func execute(job Job, fn RunFunc, timeout time.Duration) Record {
 		}
 		resCh <- rec
 	}()
-	if timeout <= 0 {
-		return <-resCh
+	if cfg.Timeout <= 0 {
+		rec := <-resCh
+		if rec.Panicked {
+			dumpFlight(cfg, job, rec.Err)
+		}
+		return rec
 	}
 	//lrlint:ignore effect-purity per-run timeouts are an orchestration concern; virtual time stays inside internal/sim
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case rec := <-resCh:
+		if rec.Panicked {
+			dumpFlight(cfg, job, rec.Err)
+		}
 		return rec
 	case <-timer.C:
-		return Record{Job: job, Err: fmt.Sprintf("timeout: run exceeded %v of wall-clock time", timeout)}
+		rec := Record{Job: job, Err: fmt.Sprintf("timeout: run exceeded %v of wall-clock time", cfg.Timeout)}
+		// The abandoned goroutine may still be appending to the recorder;
+		// FlightDumper implementations must take the dump under their own
+		// synchronization.
+		dumpFlight(cfg, job, rec.Err)
+		return rec
 	}
+}
+
+// dumpFlight flushes the job's flight recorder, if any, after a panic or
+// timeout. Dump failures are deliberately swallowed: the record already
+// carries the primary failure and a post-mortem write error must not mask
+// it or abort the sweep.
+func dumpFlight(cfg Config, job Job, reason string) {
+	if cfg.Flight == nil {
+		return
+	}
+	fr := cfg.Flight(job)
+	if fr == nil {
+		return
+	}
+	_ = fr.Dump(reason)
 }
 
 func writeAll(sinks []Sink, r Record) error {

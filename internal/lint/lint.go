@@ -281,6 +281,7 @@ func DefaultConfig(modulePath string) Config {
 		ConcurrencyPackages: []string{
 			"internal/harness",
 			"internal/experiment",
+			"internal/obs",
 			"internal/runstore",
 			"internal/served",
 		},
@@ -291,6 +292,7 @@ func DefaultConfig(modulePath string) Config {
 			"internal/erasure",
 			"internal/packet",
 			"internal/crypt",
+			"internal/obs",
 			"internal/radio",
 		},
 		HotRoots: []string{

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.RecordLine([]byte(fmt.Sprintf("line-%d", i)))
+	}
+	if got := f.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := f.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Oldest-first, survivors only.
+	i2 := strings.Index(out, "line-2")
+	i3 := strings.Index(out, "line-3")
+	i4 := strings.Index(out, "line-4")
+	if i2 < 0 || i3 < 0 || i4 < 0 || !(i2 < i3 && i3 < i4) {
+		t.Fatalf("survivor order wrong:\n%s", out)
+	}
+	if strings.Contains(out, "line-0") || strings.Contains(out, "line-1") {
+		t.Fatalf("evicted lines present:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 dropped)") {
+		t.Fatalf("drop count missing:\n%s", out)
+	}
+}
+
+func TestFlightRecorderStateBoardSorted(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.SetState("zeta", "1")
+	f.SetState("alpha", "2")
+	f.SetState("mid", "3")
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf, "why"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== flight dump: why ===") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	ia := strings.Index(out, "state alpha=2")
+	im := strings.Index(out, "state mid=3")
+	iz := strings.Index(out, "state zeta=1")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("state board not sorted:\n%s", out)
+	}
+}
+
+func TestFlightRecorderDumpToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.flight.txt")
+	f := NewFlightRecorder(8)
+	f.SetOutput(path)
+	f.SetState("job", "7")
+	f.RecordLine([]byte("evt\n"))
+	if err := f.Dump("panic: boom"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"panic: boom", "state job=7", "evt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightRecorderNoOutputIsNoop(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.RecordLine([]byte("x"))
+	if err := f.Dump("reason"); err != nil {
+		t.Fatalf("pathless Dump = %v", err)
+	}
+}
+
+func TestNilFlightRecorderSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.RecordLine([]byte("x"))
+	f.SetState("k", "v")
+	f.SetOutput("/nowhere")
+	if f.Len() != 0 || f.Dropped() != 0 {
+		t.Fatal("nil recorder reports contents")
+	}
+	if err := f.Dump("r"); err != nil {
+		t.Fatalf("nil Dump = %v", err)
+	}
+	if err := f.WriteDump(&bytes.Buffer{}, "r"); err != nil {
+		t.Fatalf("nil WriteDump = %v", err)
+	}
+}
+
+// Concurrent writers during a dump must not race (run under -race in CI):
+// the harness dumps a timed-out job's recorder while the abandoned job
+// goroutine may still be appending.
+func TestFlightRecorderConcurrentDump(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.RecordLine([]byte(fmt.Sprintf("concurrent-%d", i)))
+			f.SetState("i", fmt.Sprint(i))
+			i++
+		}
+	}()
+	for n := 0; n < 50; n++ {
+		var buf bytes.Buffer
+		if err := f.WriteDump(&buf, "concurrent"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,462 @@
+// Package obs is the runtime-telemetry subsystem: wall-clock attribution for
+// simulation runs, periodic runtime snapshots, a post-mortem flight recorder,
+// and an opt-in live HTTP export surface.
+//
+// Where internal/trace answers "what did the protocol do" on the virtual
+// clock, obs answers "where did the real time go": phase timers installed
+// through the engine, radio, crypto and codec layers roll a run's wall time
+// up into a per-subsystem attribution table, and a sampler captures
+// heap/GC/throughput gauges as the run progresses.
+//
+// Overhead contract (mirroring internal/trace): a nil *Timers is the
+// disabled instrumentation. Every recording method nil-checks its receiver
+// and returns immediately, so fully instrumented hot paths pay one
+// predictable branch per region boundary when obs is off. BENCH_obs.json
+// gates both the disabled and the enabled cost.
+//
+// Determinism contract: obs reads the monotonic clock but its measurements
+// never feed back into simulation decisions — same-seed runs stay
+// byte-identical in metrics and transmission-trace hashes with obs on or
+// off (pinned by internal/scale tests and the lrscale obsbench).
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// AttrSchema is the attribution-table schema version, encoded as "v" in the
+// JSON artifact; lrobs refuses schemas it does not know.
+const AttrSchema = 1
+
+// Phase identifies one instrumented subsystem region. The string values are
+// the attribution table's wire vocabulary and must stay stable.
+type Phase uint8
+
+// Instrumented phases, in catalog (render) order. The set is deliberately
+// exclusive-by-construction: regions nest (a crypto verify runs inside a
+// radio delivery inside an event dispatch), and the Timers stamp-stack
+// attributes each nanosecond to the innermost open region only, so phase
+// times sum to at most the run's wall time.
+const (
+	// PhaseQueuePop: event-queue PopLE calls in the engine run loop
+	// (strided leaf sampling: every call counted, one in leafStride timed).
+	PhaseQueuePop Phase = iota
+	// PhaseQueuePush: event-queue Push calls (strided leaf sampling).
+	PhaseQueuePush
+	// PhaseDispatch: the engine run loop — event-callback execution and
+	// loop bookkeeping, exclusive of every nested phase below. Opened once
+	// per Run slice (ambient), not once per event, so its calls column
+	// counts slices while its time column is the protocol logic itself.
+	PhaseDispatch
+	// PhaseRadioDeliver: transmission fan-out (loss model, fault overlay,
+	// batch construction) and delivery-batch walking, exclusive of the
+	// receiver handlers' own nested phases (stride-sampled stack region:
+	// every call counted, one in sampleStride timed).
+	PhaseRadioDeliver
+	// PhaseSigVerify: expensive ECDSA signature verification.
+	PhaseSigVerify
+	// PhasePuzzle: weak-authenticator (puzzle) checks on signature packets.
+	PhasePuzzle
+	// PhaseHashVerify: per-packet SHA-256 work — hash-image comparison,
+	// Merkle proof verification (strided leaf sampling at the per-packet
+	// sites) and Merkle tree rebuilds (exact).
+	PhaseHashVerify
+	// PhaseRSEncode: Reed-Solomon encoding (serving and M0 regeneration).
+	PhaseRSEncode
+	// PhaseRSDecode: Reed-Solomon decoding (page and M0 recovery).
+	PhaseRSDecode
+	// PhaseTrickle: Trickle advertisement-timer callbacks (fire and
+	// interval rollover), exclusive of the broadcast work they schedule
+	// (stride-sampled stack region).
+	PhaseTrickle
+
+	numPhases
+)
+
+// phaseNames is the wire vocabulary, indexed by Phase.
+var phaseNames = [numPhases]string{
+	PhaseQueuePop:     "sim.queue.pop",
+	PhaseQueuePush:    "sim.queue.push",
+	PhaseDispatch:     "sim.dispatch",
+	PhaseRadioDeliver: "radio.deliver",
+	PhaseSigVerify:    "crypt.sig-verify",
+	PhasePuzzle:       "crypt.puzzle",
+	PhaseHashVerify:   "crypt.hash-verify",
+	PhaseRSEncode:     "erasure.rs-encode",
+	PhaseRSDecode:     "erasure.rs-decode",
+	PhaseTrickle:      "trickle",
+}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p < numPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Phases lists every phase in catalog order.
+func Phases() []Phase {
+	out := make([]Phase, 0, int(numPhases))
+	for p := Phase(0); p < numPhases; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// maxDepth bounds the region stack. Real nesting is three or four deep
+// (dispatch > radio.deliver > crypt); boundaries past the bound are counted
+// but not timed, so a pathological nest degrades accounting, never safety.
+const maxDepth = 32
+
+// slot is one open region on the stack. acc is the phase that boundary
+// intervals accrue to while this slot is on top: the slot's own phase for
+// timed regions, the nearest timed ancestor (or -1) for the untimed calls of
+// a stride-sampled region.
+type slot struct {
+	acc     int8
+	phase   int8
+	timed   bool
+	sampled bool
+	cum0    int64 // cum[phase] at open, the scaling base for sampled regions
+}
+
+// Timers is one run's phase accounting. A nil *Timers is the disabled
+// instrumentation: Start and End on it are nil-safe no-ops costing one
+// branch. Not safe for concurrent use; like the tracer it lives inside the
+// single-threaded simulation loop.
+type Timers struct {
+	base     time.Time
+	stamp    int64 // monotonic ns of the most recent region boundary
+	depth    int
+	overflow int
+	stack    [maxDepth]slot
+
+	// Strided-leaf state (see StartLeaf): the clock stamp of the sampled
+	// call in flight, or leafSkip when the current call is unsampled.
+	leafStamp int64
+	leafSkip  bool
+
+	cum   [numPhases]int64
+	calls [numPhases]uint64
+}
+
+// leafStride is the sampling stride for leaf regions: every call is counted,
+// one in leafStride is timed and its span scaled by the stride. Regions too
+// cheap to time exactly (a ~100 ns queue push costs more to clock than to
+// run) stay attributed at a fraction of the instrumentation cost. Power of
+// two.
+const leafStride = 16
+
+// sampleStride is the sampling stride for stride-sampled stack regions
+// (StartSampled): high-frequency regions that, unlike leaves, have other
+// phases nesting inside them. Power of two.
+const sampleStride = 8
+
+// NewTimers returns enabled phase timers with all counters at zero.
+//
+//lrlint:effects(wallclock) captures the monotonic base the region stamps are measured against; measurements never feed back into simulation
+func NewTimers() *Timers {
+	return &Timers{base: time.Now()}
+}
+
+// Enabled reports whether regions are being recorded.
+func (t *Timers) Enabled() bool { return t != nil }
+
+// Start opens a region for phase p. While p is open, elapsed time is
+// attributed to p; an enclosing region's clock is paused (exclusive
+// accounting). Every Start must be paired with an End on the same phase,
+// in LIFO order.
+//
+//lrlint:effects(wallclock) region boundaries read the monotonic clock; the measurement is reporting-only and never feeds back into simulation
+func (t *Timers) Start(p Phase) {
+	if t == nil {
+		return
+	}
+	t.calls[p]++
+	if t.depth == maxDepth {
+		t.overflow++
+		return
+	}
+	now := int64(time.Since(t.base))
+	if t.depth > 0 {
+		if a := t.stack[t.depth-1].acc; a >= 0 {
+			t.cum[a] += now - t.stamp
+		}
+	}
+	t.stack[t.depth] = slot{acc: int8(p), phase: int8(p), timed: true}
+	t.depth++
+	t.stamp = now
+}
+
+// End closes the innermost open region, attributing the time since the last
+// boundary to it. The phase argument documents the call site; an unbalanced
+// End (no open region) is ignored.
+//
+//lrlint:effects(wallclock) region boundaries read the monotonic clock; the measurement is reporting-only and never feeds back into simulation
+func (t *Timers) End(Phase) {
+	if t == nil {
+		return
+	}
+	if t.overflow > 0 {
+		t.overflow--
+		return
+	}
+	if t.depth == 0 {
+		return
+	}
+	now := int64(time.Since(t.base))
+	t.depth--
+	if a := t.stack[t.depth].acc; a >= 0 {
+		t.cum[a] += now - t.stamp
+	}
+	t.stamp = now
+}
+
+// StartSampled opens a stride-sampled stack region: every call increments the
+// phase's call count, but only one call in sampleStride reads the clock and
+// opens a real (timed) region; EndSampled scales the sampled call's exclusive
+// time by the stride. Unlike a leaf, other phases may nest inside — during an
+// unsampled call their boundaries accrue to the nearest timed ancestor, whose
+// inflated share is repaid when a sampled call's scaled estimate is deducted
+// from it. A sampled region must not nest inside another sampled region.
+//
+//lrlint:effects(wallclock) sampled region boundary reads the monotonic clock; reporting-only, never simulation input
+func (t *Timers) StartSampled(p Phase) {
+	if t == nil {
+		return
+	}
+	t.calls[p]++
+	if t.depth == maxDepth {
+		t.overflow++
+		return
+	}
+	if t.calls[p]&(sampleStride-1) != 1 {
+		// Unsampled: push an untimed slot with no clock read. Boundaries of
+		// phases nested inside accrue past it to the nearest timed ancestor.
+		acc := int8(-1)
+		if t.depth > 0 {
+			acc = t.stack[t.depth-1].acc
+		}
+		t.stack[t.depth] = slot{acc: acc, phase: int8(p)}
+		t.depth++
+		return
+	}
+	now := int64(time.Since(t.base))
+	if t.depth > 0 {
+		if a := t.stack[t.depth-1].acc; a >= 0 {
+			t.cum[a] += now - t.stamp
+		}
+	}
+	t.stack[t.depth] = slot{acc: int8(p), phase: int8(p), timed: true, sampled: true, cum0: t.cum[p]}
+	t.depth++
+	t.stamp = now
+}
+
+// EndSampled closes a stride-sampled region opened by StartSampled on the
+// same phase, scaling the sampled call's exclusive time by sampleStride and
+// deducting the extrapolated remainder from the enclosing region — the same
+// bargain as EndLeaf: individual parent intervals wobble, per-run totals
+// converge.
+//
+//lrlint:effects(wallclock) sampled region boundary reads the monotonic clock; reporting-only, never simulation input
+func (t *Timers) EndSampled(p Phase) {
+	if t == nil {
+		return
+	}
+	if t.overflow > 0 {
+		t.overflow--
+		return
+	}
+	if t.depth == 0 {
+		return
+	}
+	t.depth--
+	s := t.stack[t.depth]
+	if !s.timed {
+		return // unsampled call: no clock was read at either boundary
+	}
+	now := int64(time.Since(t.base))
+	t.cum[p] += now - t.stamp
+	t.stamp = now
+	// Exclusive time of this one call (nested phases already deducted via
+	// the stamp), scaled to estimate the stride's worth of calls.
+	if excl := t.cum[p] - s.cum0; excl > 0 {
+		extra := excl * (sampleStride - 1)
+		t.cum[p] += extra
+		if t.depth > 0 {
+			t.stamp += extra
+		}
+	}
+}
+
+// StartLeaf opens a sampled leaf region: every call increments the phase's
+// call count, but only one call in leafStride reads the clock; EndLeaf
+// scales the sampled span by the stride. A leaf region must be flat — no
+// Start/End/StartLeaf may run between StartLeaf and its EndLeaf — which is
+// what lets the pair share one stamp field instead of the stack.
+//
+// Sampling keeps attribution honest in aggregate: EndLeaf credits the scaled
+// estimate to the leaf phase and advances the enclosing region's stamp by
+// the same amount, so the estimate is deducted from the parent rather than
+// counted twice. Individual parent intervals can over- or under-shoot; the
+// per-run totals converge.
+//
+//lrlint:effects(wallclock) sampled region boundary reads the monotonic clock; reporting-only, never simulation input
+func (t *Timers) StartLeaf(p Phase) {
+	if t == nil {
+		return
+	}
+	t.calls[p]++
+	if t.calls[p]&(leafStride-1) != 1 {
+		t.leafSkip = true
+		return
+	}
+	t.leafSkip = false
+	t.leafStamp = int64(time.Since(t.base))
+}
+
+// EndLeaf closes a sampled leaf region opened by StartLeaf on the same
+// phase.
+//
+//lrlint:effects(wallclock) sampled region boundary reads the monotonic clock; reporting-only, never simulation input
+func (t *Timers) EndLeaf(p Phase) {
+	if t == nil || t.leafSkip {
+		return
+	}
+	t.leafSkip = true
+	span := int64(time.Since(t.base)) - t.leafStamp
+	est := span * leafStride
+	t.cum[p] += est
+	if t.depth > 0 {
+		// Deduct the estimate from the enclosing region by moving its last
+		// boundary forward. The stamp may transiently pass the clock; the
+		// parent's next interval simply shrinks by the overshoot.
+		t.stamp += est
+	}
+}
+
+// Calls returns how many regions were opened for the phase.
+func (t *Timers) Calls(p Phase) uint64 {
+	if t == nil || p >= numPhases {
+		return 0
+	}
+	return t.calls[p]
+}
+
+// NS returns the cumulative exclusive nanoseconds attributed to the phase.
+func (t *Timers) NS(p Phase) int64 {
+	if t == nil || p >= numPhases {
+		return 0
+	}
+	return t.cum[p]
+}
+
+// Regions returns the total number of regions opened across all phases —
+// the per-run boundary count the disabled-overhead gate scales by.
+func (t *Timers) Regions() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for p := Phase(0); p < numPhases; p++ {
+		n += t.calls[p]
+	}
+	return n
+}
+
+// PhaseStat is one attribution-table row.
+type PhaseStat struct {
+	// Phase is the wire name (Phase.String).
+	Phase string `json:"phase"`
+	// NS is the cumulative exclusive time attributed to the phase.
+	NS int64 `json:"ns"`
+	// Calls is the number of regions opened.
+	Calls uint64 `json:"calls"`
+	// NSPerCall is NS/Calls.
+	NSPerCall float64 `json:"ns_per_call"`
+	// Frac is NS as a fraction of the run's wall time.
+	Frac float64 `json:"frac"`
+}
+
+// Attribution is a per-run time-attribution table: subsystem phase rows plus
+// the covered fraction of wall time. Phase accounting is exclusive, so
+// CoveredFrac sits near (and never far above) 1 on fully instrumented runs;
+// leaf-sampling estimation error can push it a percent or two past 1.
+type Attribution struct {
+	SchemaV int `json:"v"`
+	// WallNS is the measured run wall time the fractions are relative to.
+	WallNS int64 `json:"wall_ns"`
+	// CoveredNS sums every phase's exclusive time.
+	CoveredNS int64 `json:"covered_ns"`
+	// CoveredFrac is CoveredNS/WallNS: how much of the run's wall time the
+	// instrumented subsystems account for.
+	CoveredFrac float64 `json:"covered_frac"`
+	// Phases holds one row per phase with at least one call, catalog order.
+	Phases []PhaseStat `json:"phases"`
+}
+
+// Table rolls the timers up into an attribution table against the given run
+// wall time (nanoseconds). Phases that never opened a region are omitted.
+func (t *Timers) Table(wallNS int64) Attribution {
+	a := Attribution{SchemaV: AttrSchema, WallNS: wallNS}
+	if t == nil {
+		return a
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if t.calls[p] == 0 {
+			continue
+		}
+		row := PhaseStat{
+			Phase:     p.String(),
+			NS:        t.cum[p],
+			Calls:     t.calls[p],
+			NSPerCall: float64(t.cum[p]) / float64(t.calls[p]),
+		}
+		if wallNS > 0 {
+			row.Frac = float64(t.cum[p]) / float64(wallNS)
+		}
+		a.CoveredNS += t.cum[p]
+		a.Phases = append(a.Phases, row)
+	}
+	if wallNS > 0 {
+		a.CoveredFrac = float64(a.CoveredNS) / float64(wallNS)
+	}
+	return a
+}
+
+// DecodeAttribution strictly parses an attribution JSON artifact, rejecting
+// unknown fields and unknown schema versions.
+func DecodeAttribution(data []byte) (Attribution, error) {
+	var a Attribution
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return Attribution{}, fmt.Errorf("obs: attribution: %w", err)
+	}
+	if a.SchemaV != AttrSchema {
+		return Attribution{}, fmt.Errorf("obs: attribution schema v%d unsupported (want v%d)", a.SchemaV, AttrSchema)
+	}
+	return a, nil
+}
+
+// WriteText renders the attribution table as aligned human-readable text,
+// rows in catalog order followed by the covered-fraction summary line.
+func (a Attribution) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-18s %12s %12s %12s %7s\n", "phase", "cum_ms", "calls", "ns/call", "frac"); err != nil {
+		return err
+	}
+	for _, row := range a.Phases {
+		if _, err := fmt.Fprintf(w, "%-18s %12.2f %12d %12.1f %6.1f%%\n",
+			row.Phase, float64(row.NS)/1e6, row.Calls, row.NSPerCall, 100*row.Frac); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-18s %12.2f %38s %6.1f%% of %.2fms wall\n",
+		"total", float64(a.CoveredNS)/1e6, "", 100*a.CoveredFrac, float64(a.WallNS)/1e6)
+	return err
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Board is a lock-free publication point for the latest progress value: the
+// run loop publishes, HTTP handlers load. The zero value is ready to use.
+type Board struct {
+	v atomic.Value
+}
+
+// Publish stores the latest progress value. Successive values must share one
+// concrete type (atomic.Value's contract); obs callers publish Snapshot.
+func (b *Board) Publish(v any) {
+	if b == nil {
+		return
+	}
+	b.v.Store(v)
+}
+
+// Load returns the latest published value, or nil before the first Publish.
+func (b *Board) Load() any {
+	if b == nil {
+		return nil
+	}
+	return b.v.Load()
+}
+
+// ServeOptions configures the live export surface.
+type ServeOptions struct {
+	// Progress, when non-nil, backs GET /progress: the latest published
+	// value rendered as JSON (404 before the first publish).
+	Progress *Board
+	// Metrics, when non-nil, backs GET /metrics with caller-rendered
+	// Prometheus text; the process runtime gauges are appended after it.
+	// When nil, /metrics serves the runtime gauges alone.
+	Metrics func(w io.Writer)
+}
+
+// Serve starts the opt-in live export listener on addr: net/http/pprof under
+// /debug/pprof/, Prometheus text on /metrics, the latest progress snapshot
+// as JSON on /progress, and /healthz. It returns the bound address (so
+// addr may use port 0) and a shutdown func that closes the listener.
+//
+// The surface is diagnostic and unauthenticated — bind loopback unless the
+// host network is trusted.
+//
+//lrlint:effects(net,spawn) the opt-in live export boundary: serves pprof/metrics/progress over HTTP on a background goroutine; reporting-only
+func Serve(addr string, opts ServeOptions) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Metrics != nil {
+			opts.Metrics(w)
+		}
+		ReadRuntime().WriteProm(w, "lrobs")
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		v := opts.Progress.Load()
+		if v == nil {
+			http.Error(w, "no progress published yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln.Close, nil
+}

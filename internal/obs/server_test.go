@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	board := &Board{}
+	addr, shutdown, err := Serve("127.0.0.1:0", ServeOptions{
+		Progress: board,
+		Metrics: func(w io.Writer) {
+			fmt.Fprintln(w, "# TYPE custom_series counter")
+			fmt.Fprintln(w, "custom_series 42")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// /progress 404s before the first publish, then serves the latest value.
+	if code, _ := get("/progress"); code != http.StatusNotFound {
+		t.Fatalf("/progress before publish = %d, want 404", code)
+	}
+	board.Publish(Snapshot{SchemaV: SnapshotSchema, Events: 77, Completed: 3})
+	code, body := get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress body: %v\n%s", err, body)
+	}
+	if snap.Events != 77 || snap.Completed != 3 {
+		t.Fatalf("/progress snapshot = %+v", snap)
+	}
+
+	// /metrics serves the caller text followed by the runtime gauges.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	ic := strings.Index(body, "custom_series 42")
+	ih := strings.Index(body, "lrobs_runtime_heap_bytes")
+	if ic < 0 || ih < 0 || ic > ih {
+		t.Fatalf("/metrics ordering wrong:\n%s", body)
+	}
+
+	// pprof index answers.
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body)
+	}
+}
+
+func TestNilBoardSafe(t *testing.T) {
+	var b *Board
+	b.Publish(1)
+	if b.Load() != nil {
+		t.Fatal("nil board loaded a value")
+	}
+}

@@ -1,0 +1,144 @@
+package scale
+
+import (
+	"bytes"
+	"testing"
+
+	"lrseluge/internal/obs"
+	"lrseluge/internal/sim"
+)
+
+// TestObsDoesNotPerturbRun is the determinism contract: installing phase
+// timers, the sampler and the progress board must leave the same-seed run
+// byte-identical — same transmission-trace hash, same metrics.
+func TestObsDoesNotPerturbRun(t *testing.T) {
+	plain, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.Obs = obs.NewTimers()
+	cfg.Sampler = obs.NewSampler(&bytes.Buffer{})
+	cfg.Board = &obs.Board{}
+	cfg.SliceEvery = 5 * sim.Second
+	observed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceHash == "" || plain.TraceHash != observed.TraceHash {
+		t.Errorf("obs perturbed the run: trace hash %s vs %s", plain.TraceHash, observed.TraceHash)
+	}
+	if plain.Events != observed.Events || plain.Completed != observed.Completed ||
+		plain.LatencySec != observed.LatencySec || plain.TotalBytes != observed.TotalBytes {
+		t.Errorf("obs perturbed metrics:\n plain    %+v\n observed %+v", plain, observed)
+	}
+}
+
+// TestObsAttributionCoverage pins the tentpole acceptance shape: with every
+// subsystem instrumented, the attribution table accounts for most of the
+// measured wall time. CI shares cores, so the bound here is a loose sanity
+// floor; the calibrated >= 80% gate runs in lrscale -obsbench via check.sh.
+func TestObsAttributionCoverage(t *testing.T) {
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.TraceHash = false
+	cfg.Obs = obs.NewTimers()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Obs == nil {
+		t.Fatal("Report.Obs missing with Config.Obs set")
+	}
+	if rep.Obs.WallNS <= 0 || rep.Obs.CoveredNS <= 0 {
+		t.Fatalf("empty attribution: %+v", rep.Obs)
+	}
+	if rep.Obs.CoveredFrac < 0.5 {
+		t.Errorf("attribution covers only %.1f%% of wall time", 100*rep.Obs.CoveredFrac)
+	}
+	seen := map[string]bool{}
+	for _, row := range rep.Obs.Phases {
+		seen[row.Phase] = true
+	}
+	// A full dissemination exercises every instrumented subsystem.
+	for _, want := range []string{
+		"sim.queue.pop", "sim.queue.push", "sim.dispatch", "radio.deliver",
+		"crypt.sig-verify", "crypt.puzzle", "crypt.hash-verify",
+		"erasure.rs-encode", "erasure.rs-decode", "trickle",
+	} {
+		if !seen[want] {
+			t.Errorf("phase %q missing from attribution table: %+v", want, rep.Obs.Phases)
+		}
+	}
+}
+
+// TestSamplerWiredIntoSlices pins that the scale loop drives the sampler
+// once per progress slice with live gauges.
+func TestSamplerWiredIntoSlices(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.TraceHash = false
+	cfg.SliceEvery = 5 * sim.Second
+	cfg.Sampler = obs.NewSampler(&buf)
+	board := &obs.Board{}
+	cfg.Board = board
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Sampler.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := obs.ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots sampled")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != rep.Completed {
+		t.Errorf("final snapshot completed %d, report %d", last.Completed, rep.Completed)
+	}
+	if last.Events == 0 || last.SimNS <= 0 {
+		t.Errorf("gauges not wired: %+v", last)
+	}
+	published, ok := board.Load().(obs.Snapshot)
+	if !ok {
+		t.Fatalf("board holds %T, want obs.Snapshot", board.Load())
+	}
+	if published.Events != last.Events {
+		t.Errorf("board snapshot events %d, sampler %d", published.Events, last.Events)
+	}
+}
+
+// TestIncompleteReported is the silent-incompletion regression: a
+// horizon-bounded run that cannot finish must carry the missing-node count
+// in its report rather than leaving Completed to be eyeballed.
+func TestIncompleteReported(t *testing.T) {
+	cfg := baseConfig(sim.CalendarQueue)
+	cfg.TraceHash = false
+	cfg.Horizon = 3 * sim.Second
+	cfg.SliceEvery = sim.Second
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed >= rep.Nodes {
+		t.Fatalf("run completed inside a 3s horizon; the test needs an unfinished run")
+	}
+	if rep.Incomplete != rep.Nodes-rep.Completed {
+		t.Errorf("Incomplete = %d, want %d", rep.Incomplete, rep.Nodes-rep.Completed)
+	}
+	if rep.Incomplete == 0 {
+		t.Error("Incomplete = 0 on an unfinished run")
+	}
+
+	// And a complete run reports zero.
+	full, err := Run(baseConfig(sim.CalendarQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Incomplete != 0 {
+		t.Errorf("complete run reports Incomplete = %d", full.Incomplete)
+	}
+}

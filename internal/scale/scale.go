@@ -28,6 +28,7 @@ import (
 	"lrseluge/internal/dissem"
 	"lrseluge/internal/image"
 	"lrseluge/internal/metrics"
+	"lrseluge/internal/obs"
 	"lrseluge/internal/packet"
 	"lrseluge/internal/radio"
 	"lrseluge/internal/sim"
@@ -67,6 +68,17 @@ type Config struct {
 	// Progress, when non-nil, streams a snapshot after each slice, so
 	// 100k-node runs report liveness without accumulating per-slice state.
 	Progress func(Snapshot)
+	// Obs, when non-nil, installs wall-time phase timers through the
+	// engine, radio, crypto and codec layers; Report.Obs carries the
+	// resulting attribution table. Measurements never feed back into
+	// the simulation, so same-seed runs stay byte-identical either way.
+	Obs *obs.Timers
+	// Sampler, when non-nil, captures one runtime snapshot per progress
+	// slice (JSONL; see obs.Sampler).
+	Sampler *obs.Sampler
+	// Board, when non-nil, receives the latest obs.Snapshot each slice for
+	// the live HTTP /progress endpoint.
+	Board *obs.Board
 }
 
 // Snapshot is one incremental progress observation.
@@ -83,10 +95,14 @@ type Snapshot struct {
 
 // Report is the outcome of one run.
 type Report struct {
-	Nodes        int     `json:"nodes"`
-	AvgDegree    float64 `json:"avg_degree"`
-	Queue        string  `json:"queue"`
-	Completed    int     `json:"completed"`
+	Nodes     int     `json:"nodes"`
+	AvgDegree float64 `json:"avg_degree"`
+	Queue     string  `json:"queue"`
+	Completed int     `json:"completed"`
+	// Incomplete is Nodes-Completed: how many nodes ended the run without
+	// the full image (horizon hit, or isolated nodes). Always emitted so a
+	// partial run can never pass for a complete one silently.
+	Incomplete   int     `json:"incomplete"`
 	LatencySec   float64 `json:"latency_sec"`
 	Events       uint64  `json:"events"`
 	WallMS       int64   `json:"wall_ms"`
@@ -101,6 +117,8 @@ type Report struct {
 	// TraceHash is the hex sha256 over the transmission trace when
 	// Config.TraceHash was set, empty otherwise.
 	TraceHash string `json:"trace_hash,omitempty"`
+	// Obs is the wall-time attribution table when Config.Obs was set.
+	Obs *obs.Attribution `json:"obs,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +152,7 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	eng := sim.NewWithQueue(cfg.Queue)
+	eng.SetObs(cfg.Obs)
 	col := metrics.NewDense(cfg.Nodes)
 	var loss radio.LossModel = radio.NoLoss{}
 	if cfg.LossP > 0 {
@@ -143,6 +162,7 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	nw.SetObs(cfg.Obs)
 
 	var hasher interface{ Sum([]byte) []byte }
 	if cfg.TraceHash {
@@ -173,6 +193,7 @@ func Run(cfg Config) (Report, error) {
 			Commitment: chain.Commitment(),
 			Puzzle:     pparams,
 			Col:        col,
+			Obs:        cfg.Obs,
 		}
 	}
 
@@ -237,6 +258,15 @@ func Run(cfg Config) (Report, error) {
 				WallElapsed: time.Since(start),
 			})
 		}
+		if cfg.Sampler != nil || cfg.Board != nil {
+			snap := cfg.Sampler.Sample(obs.Gauges{
+				SimNS:     int64(now),
+				Events:    eng.Events(),
+				Pending:   eng.Pending(),
+				Completed: col.Completions(),
+			})
+			cfg.Board.Publish(snap)
+		}
 		// Break on the slice bound, not the engine clock: Run returns the
 		// time of the last executed event, which sits strictly below the
 		// horizon whenever no event lands exactly on it (e.g. an isolated
@@ -253,6 +283,7 @@ func Run(cfg Config) (Report, error) {
 		AvgDegree:    graph.AvgDegree(),
 		Queue:        cfg.Queue.String(),
 		Completed:    col.Completions(),
+		Incomplete:   cfg.Nodes - col.Completions(),
 		LatencySec:   col.Latency().Seconds(),
 		Events:       eng.Events(),
 		WallMS:       wall.Milliseconds(),
@@ -265,6 +296,10 @@ func Run(cfg Config) (Report, error) {
 	}
 	if hasher != nil {
 		rep.TraceHash = hex.EncodeToString(hasher.Sum(nil))
+	}
+	if cfg.Obs != nil {
+		table := cfg.Obs.Table(int64(wall))
+		rep.Obs = &table
 	}
 	return rep, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"lrseluge/internal/detmap"
+	"lrseluge/internal/obs"
 	"lrseluge/internal/runstore"
 )
 
@@ -265,6 +266,10 @@ func (m *Metrics) writeProm(w io.Writer, store runstore.Stats) {
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.val)
 	}
+
+	// Process-level runtime health (heap, GC, goroutines), appended last so
+	// every series above keeps its exact bytes and order.
+	obs.ReadRuntime().WriteProm(w, "lrserved")
 }
 
 func promFloat(v float64) string {

@@ -1,0 +1,70 @@
+package served
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMetricsRuntimeGauges verifies the Prometheus exposition carries the
+// process runtime block (heap, GC, goroutines) and that the block is
+// strictly appended: every pre-existing series renders before the first
+// runtime series, so scrapers of the original exposition see identical
+// bytes for those series.
+func TestMetricsRuntimeGauges(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, t.TempDir(), fakeRunner(&calls))
+	postSpec(t, srv.Handler(), `{"seed": 1}`)
+	get(t, srv.Handler(), "/healthz")
+
+	text := get(t, srv.Handler(), "/metrics?format=prometheus").Body.String()
+	for _, line := range []string{
+		"# TYPE lrserved_runtime_total_alloc_bytes counter",
+		"# TYPE lrserved_runtime_gc_cycles_total counter",
+		"# TYPE lrserved_runtime_gc_pause_ns_total counter",
+		"# TYPE lrserved_runtime_heap_bytes gauge",
+		"# TYPE lrserved_runtime_goroutines gauge",
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+
+	// A live process always has a non-empty heap and at least one goroutine.
+	for _, name := range []string{"lrserved_runtime_heap_bytes", "lrserved_runtime_goroutines"} {
+		if v := promValue(t, text, name); v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+
+	// Append-only: the original exposition is an unmodified prefix — every
+	// pre-existing series (lrserved_store_max_bytes renders last) appears
+	// before the first runtime series.
+	idx := strings.Index(text, "lrserved_runtime_")
+	if idx < 0 {
+		t.Fatal("no runtime series")
+	}
+	prefix := text[:idx]
+	if !strings.Contains(prefix, "lrserved_store_max_bytes") {
+		t.Errorf("runtime block not appended after the existing series:\n%s", text)
+	}
+}
+
+// promValue extracts the integer sample value of an unlabeled series.
+func promValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			t.Fatalf("series %s: bad value %q", name, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found:\n%s", name, text)
+	return 0
+}

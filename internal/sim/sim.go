@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"lrseluge/internal/obs"
 )
 
 // Time is a virtual timestamp measured in nanoseconds since the start of the
@@ -155,6 +157,7 @@ type Engine struct {
 	running bool
 	stopped bool
 	events  uint64
+	obs     *obs.Timers
 }
 
 // New returns a fresh engine with the clock at zero, backed by the reference
@@ -171,6 +174,15 @@ func NewWithQueue(kind QueueKind) *Engine {
 	}
 	return e
 }
+
+// SetObs installs phase timers for wall-time attribution of queue
+// operations and event dispatch. A nil value (the default) disables
+// instrumentation; recording methods on a nil *obs.Timers are single-branch
+// no-ops, so the hot loops stay unconditional.
+func (e *Engine) SetObs(t *obs.Timers) { e.obs = t }
+
+// Obs returns the installed phase timers (nil when disabled).
+func (e *Engine) Obs() *obs.Timers { return e.obs }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -222,7 +234,9 @@ func (e *Engine) At(at Time, fn func()) Timer {
 	ev.stopped = false
 	e.seq++
 	e.live++
+	e.obs.StartLeaf(obs.PhaseQueuePush)
 	e.queue.Push(ev)
+	e.obs.EndLeaf(obs.PhaseQueuePush)
 	return Timer{ev: ev, gen: ev.gen, at: at}
 }
 
@@ -250,8 +264,15 @@ func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	defer func() { e.running = false }()
 
+	// The dispatch region is ambient: one region per Run slice covering the
+	// whole loop, so per-event instrumentation is just the sampled pop leaf
+	// (plus whatever regions the callbacks open, which nest inside and
+	// account their own time exclusively).
+	e.obs.Start(obs.PhaseDispatch)
 	for e.queue != nil && !e.stopped {
+		e.obs.StartLeaf(obs.PhaseQueuePop)
 		ev := e.queue.PopLE(until)
+		e.obs.EndLeaf(obs.PhaseQueuePop)
 		if ev == nil {
 			break
 		}
@@ -266,6 +287,7 @@ func (e *Engine) Run(until Time) Time {
 		e.recycle(ev)
 		fn()
 	}
+	e.obs.End(obs.PhaseDispatch)
 	if e.now < until && until != MaxTime && (e.queue == nil || e.queue.Len() == 0) {
 		// The queue drained before the horizon: advance the clock so
 		// repeated Run calls observe monotonic time.

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestRingWrapsRepeatedly drives the ring through several full wraparounds
+// and checks the retained window stays exactly the most recent capacity
+// events, oldest first, with an accurate dropped counter at every step.
+func TestRingWrapsRepeatedly(t *testing.T) {
+	const capacity = 4
+	r := NewRing(capacity)
+	for n := 1; n <= 3*capacity+1; n++ {
+		r.Emit(Event{Kind: KindComplete, Node: n})
+
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if r.Len() != wantLen {
+			t.Fatalf("after %d emits: Len() = %d, want %d", n, r.Len(), wantLen)
+		}
+		wantDropped := uint64(0)
+		if n > capacity {
+			wantDropped = uint64(n - capacity)
+		}
+		if r.Dropped() != wantDropped {
+			t.Fatalf("after %d emits: Dropped() = %d, want %d", n, r.Dropped(), wantDropped)
+		}
+		evs := r.Events()
+		for i, e := range evs {
+			if want := n - wantLen + 1 + i; e.Node != want {
+				t.Fatalf("after %d emits: event %d is node %d, want %d (window %v)",
+					n, i, e.Node, want, evs)
+			}
+		}
+	}
+}
+
+// lineStore is a LineRecorder keeping its own copies, like
+// obs.FlightRecorder does.
+type lineStore struct {
+	lines []string
+}
+
+func (l *lineStore) RecordLine(line []byte) { l.lines = append(l.lines, string(line)) }
+
+// TestFlightSinkEncodesLines verifies FlightSink hands the recorder one
+// encoded line per event, byte-identical to the JSONL encoding (sans
+// newline — the recorder owns framing).
+func TestFlightSinkEncodesLines(t *testing.T) {
+	events := []Event{
+		{SchemaV: 1, At: 1, Kind: KindTx, Node: 0, Peer: NoNode, Unit: NoUnit, Index: NoUnit},
+		{SchemaV: 1, At: 2, Kind: KindDrop, Node: 1, Peer: 0, Unit: NoUnit, Index: NoUnit, Reason: DropChannel},
+	}
+	store := &lineStore{}
+	s := NewFlightSink(store)
+	for _, e := range events {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.lines) != len(events) {
+		t.Fatalf("recorded %d lines, want %d", len(store.lines), len(events))
+	}
+	for i, e := range events {
+		want := string(AppendJSON(nil, e))
+		if store.lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, store.lines[i], want)
+		}
+	}
+}

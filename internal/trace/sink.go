@@ -118,6 +118,35 @@ func (c *Count) Of(k Kind) uint64 {
 	return 0
 }
 
+// LineRecorder receives encoded trace lines; satisfied by
+// *obs.FlightRecorder. The interface points this way (trace depends on
+// nothing) because obs must stay std-only for the sim engine to import it.
+type LineRecorder interface {
+	RecordLine(line []byte)
+}
+
+// FlightSink encodes each event as a JSON line into a LineRecorder —
+// typically an obs.FlightRecorder ring, so a crashed or timed-out run
+// leaves its most recent trace events in the post-mortem dump.
+type FlightSink struct {
+	rec LineRecorder
+	buf []byte
+}
+
+// NewFlightSink returns a sink recording encoded events into rec.
+func NewFlightSink(rec LineRecorder) *FlightSink {
+	return &FlightSink{rec: rec, buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink.
+func (s *FlightSink) Emit(e Event) {
+	s.buf = AppendJSON(s.buf[:0], e)
+	s.rec.RecordLine(s.buf)
+}
+
+// Flush implements Sink; the recorder owns persistence.
+func (s *FlightSink) Flush() error { return nil }
+
 // Tee fans one event stream out to several sinks in order. Flush flushes
 // all of them and returns the first error.
 type Tee struct {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lrseluge/internal/obs"
 	"lrseluge/internal/sim"
 )
 
@@ -50,6 +51,7 @@ type Trickle struct {
 	fire     sim.Timer
 	rollover sim.Timer
 	running  bool
+	obs      *obs.Timers
 }
 
 // New creates a stopped Trickle instance that calls transmit when the timer
@@ -63,6 +65,10 @@ func New(eng *sim.Engine, rng *rand.Rand, cfg Config, transmit func()) (*Trickle
 	}
 	return &Trickle{eng: eng, rng: rng, cfg: cfg, transmit: transmit}, nil
 }
+
+// SetObs installs phase timers attributing timer-callback wall time to the
+// trickle phase; nil (the default) disables the accounting.
+func (t *Trickle) SetObs(ot *obs.Timers) { t.obs = ot }
 
 // Start begins operation at the minimum interval.
 func (t *Trickle) Start() {
@@ -123,18 +129,21 @@ func (t *Trickle) beginInterval() {
 	half := t.interval / 2
 	fireAt := half + sim.Time(t.rng.Int63n(int64(half)+1))
 	t.fire = t.eng.Schedule(fireAt, func() {
+		t.obs.StartSampled(obs.PhaseTrickle)
 		if t.running && t.counter < t.cfg.K {
 			t.transmit()
 		}
+		t.obs.EndSampled(obs.PhaseTrickle)
 	})
 	t.rollover = t.eng.Schedule(t.interval, func() {
-		if !t.running {
-			return
+		t.obs.StartSampled(obs.PhaseTrickle)
+		if t.running {
+			t.interval *= 2
+			if t.interval > t.cfg.IMax {
+				t.interval = t.cfg.IMax
+			}
+			t.beginInterval()
 		}
-		t.interval *= 2
-		if t.interval > t.cfg.IMax {
-			t.interval = t.cfg.IMax
-		}
-		t.beginInterval()
+		t.obs.EndSampled(obs.PhaseTrickle)
 	})
 }

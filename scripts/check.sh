@@ -22,7 +22,12 @@
 # seeded run under the heap and calendar event queues must produce identical
 # transmission-trace hashes and metrics) and an n=10k benchmark rerun whose
 # events/sec must not regress below half the committed BENCH_scale.json
-# figure.
+# figure. The observability gates: lrscale -obsbench (BENCH_obs.json) must
+# keep the nil-timer (disabled) overhead under 1% and the fully-instrumented
+# (enabled) overhead under 10%, attribute at least 80% of wall time to the
+# instrumented subsystems, and leave same-seed trace hashes byte-identical
+# with obs on; internal/obs runs under -race with the other
+# concurrency-sensitive packages.
 # Run from anywhere inside the repository; exits non-zero on the first failure.
 set -eu
 
@@ -126,8 +131,8 @@ go run ./cmd/lrlint -baseline "$tmpdir/scanprobe-baseline.json" "$tmpdir/scanpro
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -race ./internal/harness/... ./internal/fault/... ./internal/trace/... (concurrency-sensitive packages, verbose gate)"
-go test -race -count=1 ./internal/harness/... ./internal/fault/... ./internal/trace/...
+echo "==> go test -race ./internal/harness/... ./internal/fault/... ./internal/trace/... ./internal/obs/... (concurrency-sensitive packages, verbose gate)"
+go test -race -count=1 ./internal/harness/... ./internal/fault/... ./internal/trace/... ./internal/obs/...
 
 echo "==> lrsweep smoke sweep vs golden"
 go run ./cmd/lrsweep -sweep smoke -runs 2 -seed 1 -parallel 2 -o "$tmpdir/smoke.jsonl"
@@ -195,6 +200,19 @@ awk -v prev="$prev_eps" -v new="$new_eps" 'BEGIN {
     if (prev != "" && new + 0 < (prev + 0) / 2) {
         print "scale gate: events/sec regressed to " new " vs committed " prev; exit 1
     }
+}'
+
+echo "==> lrscale obsbench (obs overhead -> BENCH_obs.json: disabled < 1%, enabled < 10%, coverage >= 80%)"
+go run ./cmd/lrscale -obsbench -obsbench-o BENCH_obs.json
+dfrac=$(sed -n 's/.*"disabled_overhead_frac": \([0-9.eE+-]*\),*/\1/p' BENCH_obs.json)
+efrac=$(sed -n 's/.*"enabled_overhead_frac": \([0-9.eE+-]*\),*/\1/p' BENCH_obs.json)
+cfrac=$(sed -n 's/.*"covered_frac": \([0-9.eE+-]*\),*/\1/p' BENCH_obs.json)
+oident=$(sed -n 's/.*"trace_identical": \([a-z]*\).*/\1/p' BENCH_obs.json)
+awk -v d="$dfrac" -v e="$efrac" -v c="$cfrac" -v id="$oident" 'BEGIN {
+    if (d == "" || d + 0 >= 0.01) { print "obs gate: disabled_overhead_frac " d " >= 1%"; exit 1 }
+    if (e == "" || e + 0 >= 0.10) { print "obs gate: enabled_overhead_frac " e " >= 10%"; exit 1 }
+    if (c == "" || c + 0 < 0.8) { print "obs gate: covered_frac " c " < 80%"; exit 1 }
+    if (id != "true") { print "obs gate: same-seed trace hashes differ with obs enabled"; exit 1 }
 }'
 
 echo "OK"
